@@ -1,0 +1,368 @@
+// Package soarpsme_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (each regenerates the artifact
+// and reports its headline numbers as benchmark metrics), plus real
+// wall-clock microbenchmarks of the match engine itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package soarpsme_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/exp"
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/sim"
+	"soarpsme/internal/soar"
+	"soarpsme/internal/tasks/blocks"
+	"soarpsme/internal/tasks/cypress"
+	"soarpsme/internal/tasks/eightpuzzle"
+	"soarpsme/internal/tasks/hanoi"
+	"soarpsme/internal/tasks/strips"
+	"soarpsme/internal/value"
+)
+
+var (
+	labOnce sync.Once
+	lab     *exp.Lab
+)
+
+// sharedLab captures each workload once; the first benchmark that needs it
+// pays the capture cost.
+func sharedLab() *exp.Lab {
+	labOnce.Do(func() { lab = exp.NewLab() })
+	return lab
+}
+
+// ---- Table and figure regenerators (one per paper artifact) ----
+
+func BenchmarkTable5_1_ChunkSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := exp.Table51(sharedLab())
+		if len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable5_2_ChunkCompileTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := exp.Table52(sharedLab())
+		if len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable6_1_TaskGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := exp.Table61(sharedLab())
+		if len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, f func(*exp.Lab) interface{ String() string }) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out := f(sharedLab())
+		if out.String() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig6_1_SpeedupSingleQueue(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig61(l) })
+}
+
+func BenchmarkFig6_2_HashBucketContention(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig62(l) })
+}
+
+func BenchmarkFig6_3_QueueContention(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig63(l) })
+}
+
+func BenchmarkFig6_4_SpeedupMultiQueue(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		f := exp.Fig64(sharedLab())
+		s := f.Series[2] // Cypress
+		last = s.Y[len(s.Y)-1]
+	}
+	b.ReportMetric(last, "speedup@13procs")
+}
+
+func BenchmarkFig6_5_PerCycleSpeedups(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig65(l) })
+}
+
+func BenchmarkFig6_6_TasksInSystem(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig66(l) })
+}
+
+func BenchmarkFig6_7_LongChainProductions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !strings.Contains(exp.Fig67(sharedLab()), "monitor") {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFig6_8_BilinearAblation(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig68(l) })
+}
+
+func BenchmarkFig6_9_UpdatePhaseSpeedups(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig69(l) })
+}
+
+func BenchmarkFig6_10_AfterChunkingSpeedups(b *testing.B) {
+	var ep float64
+	for i := 0; i < b.N; i++ {
+		f := exp.Fig610(sharedLab())
+		s := f.Series[0] // Eight-puzzle
+		ep = s.Y[len(s.Y)-1]
+	}
+	b.ReportMetric(ep, "ep-speedup@13procs")
+}
+
+func BenchmarkFig6_11_TasksPerCycleNoChunk(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig611(l) })
+}
+
+func BenchmarkFig6_12_TasksPerCycleAfterChunk(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig612(l) })
+}
+
+func BenchmarkAblationMemories(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationMemories(l) })
+}
+
+func BenchmarkAblationSharing(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationSharing(l) })
+}
+
+func BenchmarkAblationAsyncElaboration(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationAsync(l) })
+}
+
+func BenchmarkDiagnostics(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.DiagnoseTable(l) })
+}
+
+func BenchmarkAblationAdaptiveQueues(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationAdaptiveQueues(l) })
+}
+
+func BenchmarkLongRunChunking(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.LongRunChunking(l) })
+}
+
+func BenchmarkReproductionScorecard(b *testing.B) {
+	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Summary(l) })
+}
+
+// BenchmarkBlocksWorldSolve runs the blocks world, whose operator
+// applications happen in no-change subgoals.
+func BenchmarkBlocksWorldSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: true, MaxDecisions: 200}
+		a, err := soar.New(cfg, blocks.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted {
+			b.Fatal("did not solve")
+		}
+	}
+}
+
+// BenchmarkHanoiSolve runs the Towers-of-Hanoi task with chunking.
+func BenchmarkHanoiSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: true, MaxDecisions: 200}
+		a, err := soar.New(cfg, hanoi.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted {
+			b.Fatal("did not solve")
+		}
+	}
+}
+
+// ---- Real engine microbenchmarks (wall clock) ----
+
+// BenchmarkMatchCycleThroughput measures raw node activations per second
+// of the real (goroutine) engine on the cypress workload.
+func BenchmarkMatchCycleThroughput(b *testing.B) {
+	sys := cypress.Generate(cypress.Params{Productions: 100, Cycles: 50})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.DefaultConfig())
+		if err := e.LoadProgram(sys.Source); err != nil {
+			b.Fatal(err)
+		}
+		drv := cypress.NewDriver(sys, e.Tab, e.WM)
+		tasks := 0
+		for c := 0; c < sys.Params.Cycles; c++ {
+			cs := e.ApplyAndMatch(drv.Batch())
+			tasks += cs.Tasks
+		}
+		b.ReportMetric(float64(tasks), "activations/run")
+	}
+}
+
+// BenchmarkMatchParallelReal runs the same workload with 1 and with
+// GOMAXPROCS match goroutines (wall-clock effect depends on host cores).
+func BenchmarkMatchParallelReal(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		name := "procs1"
+		if procs == 4 {
+			name = "procs4"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys := cypress.Generate(cypress.Params{Productions: 100, Cycles: 50})
+			for i := 0; i < b.N; i++ {
+				cfg := engine.DefaultConfig()
+				cfg.Processes = procs
+				cfg.Policy = prun.MultiQueue
+				e := engine.New(cfg)
+				if err := e.LoadProgram(sys.Source); err != nil {
+					b.Fatal(err)
+				}
+				drv := cypress.NewDriver(sys, e.Tab, e.WM)
+				for c := 0; c < sys.Params.Cycles; c++ {
+					e.ApplyAndMatch(drv.Batch())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProductionCompile measures network construction (parse+build)
+// for the full 196-production cypress system.
+func BenchmarkProductionCompile(b *testing.B) {
+	sys := cypress.Generate(cypress.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.DefaultConfig())
+		if err := e.LoadProgram(sys.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeAddition measures adding one chunk at run time including
+// the state-update cycle, on a loaded working memory.
+func BenchmarkRuntimeAddition(b *testing.B) {
+	sys := cypress.Generate(cypress.Params{Productions: 100, Cycles: 60, Chunks: 26})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := engine.New(engine.DefaultConfig())
+		if err := e.LoadProgram(sys.Source); err != nil {
+			b.Fatal(err)
+		}
+		drv := cypress.NewDriver(sys, e.Tab, e.WM)
+		for c := 0; c < sys.Params.Cycles; c++ {
+			e.ApplyAndMatch(drv.Batch())
+		}
+		ast, err := sys.ParseChunk(i%len(sys.ChunkSrcs), e.Tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := e.AddProductionRuntime(ast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEightPuzzleSolve runs the full Soar loop with chunking.
+func BenchmarkEightPuzzleSolve(b *testing.B) {
+	board := eightpuzzle.Scramble(12, 18)
+	for i := 0; i < b.N; i++ {
+		cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: true, MaxDecisions: 100}
+		a, err := soar.New(cfg, eightpuzzle.Task(board))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted {
+			b.Fatal("did not solve")
+		}
+	}
+}
+
+// BenchmarkStripsSolve runs the Strips task with chunking.
+func BenchmarkStripsSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: true, MaxDecisions: 200}
+		a, err := soar.New(cfg, strips.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted {
+			b.Fatal("did not solve")
+		}
+	}
+}
+
+// BenchmarkSimulator measures the multiprocessor simulator itself on a
+// captured eight-puzzle trace at 13 processes.
+func BenchmarkSimulator(b *testing.B) {
+	cfg := soar.Config{Engine: engine.DefaultConfig(), MaxDecisions: 60}
+	cfg.Engine.CaptureTrace = true
+	a, err := soar.New(cfg, eightpuzzle.Task(eightpuzzle.Scramble(12, 18)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		b.Fatal(err)
+	}
+	var traces [][]prun.TaskRec
+	for _, cs := range a.Eng.CycleStats {
+		if len(cs.Trace) > 0 {
+			traces = append(traces, cs.Trace)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.MultiCycle(traces, sim.Config{Processes: 13, Policy: sim.MultiQueue, QueueOp: 60})
+	}
+}
+
+// BenchmarkParseProductions measures the OPS5 front end.
+func BenchmarkParseProductions(b *testing.B) {
+	src := cypress.Generate(cypress.Params{Productions: 50}).Source
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ops5.Parse(src, value.NewTable()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the index and EXPERIMENTS.md for
+// paper-vs-measured commentary).
+//
+// Usage:
+//
+//	experiments [-exp all|t51|t52|t61|f61|f62|...|extras] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"soarpsme/internal/exp"
+	"soarpsme/internal/stats"
+)
+
+type runner struct {
+	id   string
+	desc string
+	fn   func(*exp.Lab) string
+}
+
+var plotFigures bool
+
+func str(f func(*exp.Lab) fmt.Stringer) func(*exp.Lab) string {
+	return func(l *exp.Lab) string {
+		v := f(l)
+		if fig, ok := v.(*stats.Figure); ok && plotFigures {
+			return fig.Plot(64, 18) + "\n" + fig.String()
+		}
+		return v.String()
+	}
+}
+
+var runners = []runner{
+	{"t51", "Table 5-1: CEs and code size per chunk", str(func(l *exp.Lab) fmt.Stringer { return exp.Table51(l) })},
+	{"t52", "Table 5-2: chunk compile time, shared vs unshared", str(func(l *exp.Lab) fmt.Stringer { return exp.Table52(l) })},
+	{"t61", "Table 6-1: task granularity", str(func(l *exp.Lab) fmt.Stringer { return exp.Table61(l) })},
+	{"f61", "Figure 6-1: speedups, single queue", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig61(l) })},
+	{"f62", "Figure 6-2: hash bucket contention", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig62(l) })},
+	{"f63", "Figure 6-3: task-queue contention", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig63(l) })},
+	{"f64", "Figure 6-4: speedups, multiple queues", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig64(l) })},
+	{"f65", "Figure 6-5: per-cycle speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig65(l) })},
+	{"f66", "Figure 6-6: tasks in system over time", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig66(l) })},
+	{"f67", "Figure 6-7: long-chain productions", exp.Fig67},
+	{"f68", "Figure 6-8: constrained bilinear networks", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig68(l) })},
+	{"f69", "Figure 6-9: update-phase speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig69(l) })},
+	{"f610", "Figure 6-10: after-chunking speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig610(l) })},
+	{"f611", "Figure 6-11: tasks/cycle without chunking", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig611(l) })},
+	{"f612", "Figure 6-12: tasks/cycle after chunking", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig612(l) })},
+	{"extras", "prose measurements (5.1, 6.3)", str(func(l *exp.Lab) fmt.Stringer { return exp.Extras(l) })},
+	{"abl-mem", "ablation: hashed vs linear memories (6.1)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationMemories(l) })},
+	{"abl-share", "ablation: node sharing (5.1)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationSharing(l) })},
+	{"abl-async", "future work: asynchronous elaboration (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationAsync(l) })},
+	{"abl-queues", "scheduling: per-cycle oracle queue counts (6.2)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationAdaptiveQueues(l) })},
+	{"diagnose", "diagnostics: causes of low-speedup cycles (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.DiagnoseTable(l) })},
+	{"longrun", "future work: chunking over long periods (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.LongRunChunking(l) })},
+	{"summary", "reproduction scorecard", str(func(l *exp.Lab) fmt.Stringer { return exp.Summary(l) })},
+}
+
+func main() {
+	which := flag.String("exp", "all", "experiment id (t51..f612, extras) or all")
+	outPath := flag.String("out", "", "write output to file instead of stdout")
+	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	flag.Parse()
+	plotFigures = *plot
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	l := exp.NewLab()
+	matched := false
+	for _, r := range runners {
+		if *which != "all" && !strings.EqualFold(*which, r.id) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		text := r.fn(l)
+		fmt.Fprintf(out, "==== %s (%s) ====\n%s\n", r.id, r.desc, text)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// Command soar runs a Soar task (Eight-Puzzle-Soar, Strips-Soar, or the
+// synthetic Cypress workload) on the Soar/PSM-E architecture, with chunking
+// off or on, and optionally an after-chunking re-run.
+//
+// Usage:
+//
+//	soar [-task eight-puzzle|strips] [-procs N] [-chunking] [-after]
+//	     [-decisions N] [-trace] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/soar"
+	"soarpsme/internal/tasks/blocks"
+	"soarpsme/internal/tasks/eightpuzzle"
+	"soarpsme/internal/tasks/hanoi"
+	"soarpsme/internal/tasks/strips"
+)
+
+func main() {
+	taskName := flag.String("task", "eight-puzzle", "task: eight-puzzle, strips, hanoi, or blocks")
+	procs := flag.Int("procs", 1, "number of match processes")
+	queues := flag.String("queues", "multi", "task queue policy: single or multi")
+	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
+	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
+	decisions := flag.Int("decisions", 400, "decision-cycle bound")
+	trace := flag.Bool("trace", false, "print decision-level trace")
+	flag.Parse()
+
+	mkTask := func() *soar.Task {
+		switch *taskName {
+		case "eight-puzzle":
+			return eightpuzzle.Default()
+		case "strips":
+			return strips.Default()
+		case "hanoi":
+			return hanoi.Default()
+		case "blocks":
+			return blocks.Default()
+		}
+		fmt.Fprintf(os.Stderr, "soar: unknown task %q\n", *taskName)
+		os.Exit(2)
+		return nil
+	}
+
+	cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: *chunking, MaxDecisions: *decisions}
+	cfg.Engine.Processes = *procs
+	cfg.Engine.Policy = prun.MultiQueue
+	if *queues == "single" {
+		cfg.Engine.Policy = prun.SingleQueue
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+
+	run := func(label string, seed *soar.Agent) *soar.Agent {
+		a, err := soar.New(cfg, mkTask())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soar:", err)
+			os.Exit(1)
+		}
+		if seed != nil {
+			n := 0
+			for _, p := range seed.Eng.NW.Productions() {
+				if strings.HasPrefix(p.Name, "chunk-") {
+					if _, err := a.Eng.AddProductionRuntime(p.AST); err != nil {
+						fmt.Fprintln(os.Stderr, "soar: chunk transfer:", err)
+						os.Exit(1)
+					}
+					n++
+				}
+			}
+			fmt.Printf(";; transferred %d chunks\n", n)
+		}
+		res, err := a.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soar:", err)
+			os.Exit(1)
+		}
+		tasks := 0
+		var cost int64
+		for _, cs := range a.Eng.CycleStats {
+			tasks += cs.Tasks
+			cost += cs.TotalCost
+		}
+		fmt.Printf(";; %s: solved=%v decisions=%d elab-cycles=%d chunks-built=%d\n",
+			label, res.Halted, res.Decisions, res.ElabCycles, res.ChunksBuilt)
+		fmt.Printf(";;   match: %d cycles, %d tasks, modeled time %.2fs, wm=%d\n",
+			len(a.Eng.CycleStats), tasks, float64(cost)/1e6, a.Eng.WM.Len())
+		return a
+	}
+
+	mode := "without chunking"
+	if *chunking {
+		mode = "during chunking"
+	}
+	first := run(fmt.Sprintf("%s (%s, %d procs)", *taskName, mode, *procs), nil)
+	if *after {
+		if !*chunking {
+			fmt.Fprintln(os.Stderr, "soar: -after requires -chunking")
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("%s (after chunking)", *taskName), first)
+	}
+}

@@ -1,0 +1,70 @@
+// Eight-Puzzle-Soar: solve a scrambled 3×3 sliding-tile puzzle with the
+// full Soar loop — operator proposal, tie impasses, selection subgoals, and
+// chunking, with the learned chunks compiled into the match network at run
+// time.
+//
+//	go run ./examples/eightpuzzle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/soar"
+	"soarpsme/internal/tasks/eightpuzzle"
+)
+
+func printBoard(b eightpuzzle.Board) {
+	for _, row := range b {
+		for _, t := range row {
+			if t == 0 {
+				fmt.Print(" _")
+				continue
+			}
+			fmt.Printf(" %d", t)
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	board := eightpuzzle.Scramble(20, 3)
+	fmt.Println("start position:")
+	printBoard(board)
+	fmt.Println("goal position:")
+	printBoard(eightpuzzle.Goal)
+
+	cfg := soar.Config{
+		Engine:       engine.DefaultConfig(),
+		Chunking:     true,
+		MaxDecisions: 300,
+	}
+	cfg.Engine.Processes = 4
+
+	agent, err := soar.New(cfg, eightpuzzle.Task(board))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agent.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsolved: %v\n", res.Halted)
+	fmt.Printf("decisions: %d, elaboration cycles: %d\n", res.Decisions, res.ElabCycles)
+	fmt.Printf("chunks learned and compiled into the network at run time: %d\n", res.ChunksBuilt)
+	if len(res.ChunkCEs) > 0 {
+		total := 0
+		for _, n := range res.ChunkCEs {
+			total += n
+		}
+		fmt.Printf("average chunk size: %.1f condition elements\n", float64(total)/float64(len(res.ChunkCEs)))
+	}
+	tasks := 0
+	for _, cs := range agent.Eng.CycleStats {
+		tasks += cs.Tasks
+	}
+	fmt.Printf("match work: %d node activations across %d cycles\n", tasks, len(agent.Eng.CycleStats))
+	fmt.Printf("state-update cycles for run-time additions: %d\n", len(agent.Eng.UpdateStats))
+}

@@ -1,0 +1,3 @@
+module soarpsme
+
+go 1.22

@@ -1,0 +1,215 @@
+package chunk
+
+import (
+	"strings"
+	"testing"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// fixture builds a Builder over a tiny fake architecture: wme levels and
+// provenance supplied through maps.
+type fixture struct {
+	tab    *value.Table
+	reg    *wme.Registry
+	b      *Builder
+	levels map[uint64]int
+	recs   map[uint64]*Record
+	subst  map[uint64]*wme.WME
+	ids    map[value.Sym]bool
+	nextID uint64
+}
+
+func newFixture() *fixture {
+	f := &fixture{
+		tab:    value.NewTable(),
+		reg:    wme.NewRegistry(),
+		levels: map[uint64]int{},
+		recs:   map[uint64]*Record{},
+		subst:  map[uint64]*wme.WME{},
+		ids:    map[value.Sym]bool{},
+	}
+	f.b = &Builder{
+		Tab:        f.tab,
+		Reg:        f.reg,
+		Level:      func(w *wme.WME) int { return f.levels[w.ID] },
+		Substitute: func(w *wme.WME) *wme.WME { return f.subst[w.ID] },
+		ByCreated:  func(id uint64) *Record { return f.recs[id] },
+		IsID:       func(s value.Sym) bool { return f.ids[s] },
+	}
+	return f
+}
+
+// wmeOf builds a wme (class ^a1 v1 ^a2 v2 ...) at the given level.
+func (f *fixture) wmeOf(level int, class string, kv ...string) *wme.WME {
+	cls := f.tab.Intern(class)
+	var fields []value.Value
+	for i := 0; i+1 < len(kv); i += 2 {
+		idx, _ := f.reg.FieldIndex(cls, f.tab.Intern(kv[i]), true)
+		for idx >= len(fields) {
+			fields = append(fields, value.Nil)
+		}
+		fields[idx] = f.tab.SymV(kv[i+1])
+	}
+	f.nextID++
+	w := &wme.WME{ID: f.nextID, TimeTag: f.nextID, Class: cls, Fields: fields}
+	f.levels[w.ID] = level
+	return w
+}
+
+func (f *fixture) id(name string) { f.ids[f.tab.Intern(name)] = true }
+
+func TestBuildSimpleChunk(t *testing.T) {
+	f := newFixture()
+	f.id("g1")
+	f.id("o5")
+	// Supergoal wmes (level 1) matched by a firing at level 2 that creates
+	// a result preference at level 1.
+	ctx := f.wmeOf(1, "context", "goal-id", "g1", "slot", "state", "value", "s0")
+	op := f.wmeOf(1, "op", "id", "o5", "from", "c1")
+	item := f.wmeOf(2, "item", "goal-id", "g2", "value", "o5")
+	acc := f.wmeOf(1, "preference", "goal-id", "g1", "object", "o5", "kind", "acceptable")
+	f.subst[item.ID] = acc
+	result := f.wmeOf(1, "preference", "goal-id", "g1", "object", "o5", "kind", "best")
+
+	prod := &rete.Production{Name: "eval"}
+	rec := &Record{Prod: prod, Matched: []*wme.WME{ctx, op, item}, Created: []*wme.WME{result}, Level: 2}
+	ast, name, err := f.b.Build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast == nil || name == "" {
+		t.Fatalf("no chunk built")
+	}
+	if len(ast.LHS) != 3 { // ctx, op, acceptable-pref (item substituted)
+		t.Fatalf("chunk LHS = %d CEs", len(ast.LHS))
+	}
+	if len(ast.RHS) != 1 || ast.RHS[0].Kind != ops5.ActMake {
+		t.Fatalf("chunk RHS wrong")
+	}
+	// Identifiers variablized, constants kept.
+	src := ops5.Format(ast, f.tab)
+	if strings.Contains(src, "g1") || strings.Contains(src, "o5") {
+		t.Fatalf("identifiers not variablized:\n%s", src)
+	}
+	if !strings.Contains(src, "acceptable") || !strings.Contains(src, "best") || !strings.Contains(src, "c1") {
+		t.Fatalf("constants lost:\n%s", src)
+	}
+	// Identifier used in both condition and action maps to one variable.
+	p2, err := ops5.ParseProduction(src, f.tab)
+	if err != nil {
+		t.Fatalf("chunk does not re-parse: %v\n%s", err, src)
+	}
+	if p2.Name != name {
+		t.Fatalf("name mismatch")
+	}
+}
+
+func TestBacktraceThroughSubgoalWMEs(t *testing.T) {
+	f := newFixture()
+	f.id("g1")
+	// level-1 base fact; level-2 intermediate created by firing rec1 from
+	// the base; result created by firing rec2 matching the intermediate.
+	base := f.wmeOf(1, "fact", "obj", "g1", "v", "k")
+	inter := f.wmeOf(2, "scratch", "obj", "g2", "v", "k")
+	f.recs[inter.ID] = &Record{Prod: &rete.Production{Name: "mk"}, Matched: []*wme.WME{base}, Created: []*wme.WME{inter}, Level: 2}
+	result := f.wmeOf(1, "out", "obj", "g1", "v", "k")
+	rec := &Record{Prod: &rete.Production{Name: "res"}, Matched: []*wme.WME{inter}, Created: []*wme.WME{result}, Level: 2}
+	ast, _, err := f.b.Build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.LHS) != 1 {
+		t.Fatalf("LHS = %d, want 1 (the base fact)", len(ast.LHS))
+	}
+	if ast.LHS[0].CE.Class != f.tab.Intern("fact") {
+		t.Fatalf("condition is not the base fact")
+	}
+}
+
+func TestNoResultNoChunk(t *testing.T) {
+	f := newFixture()
+	local := f.wmeOf(2, "scratch", "obj", "x")
+	rec := &Record{Prod: &rete.Production{Name: "p"}, Matched: nil, Created: []*wme.WME{local}, Level: 2}
+	ast, name, err := f.b.Build(rec)
+	if err != nil || ast != nil || name != "" {
+		t.Fatalf("chunk built for local-only creation")
+	}
+}
+
+func TestDuplicateChunksDetected(t *testing.T) {
+	f := newFixture()
+	f.id("g1")
+	mk := func() *Record {
+		cond := f.wmeOf(1, "fact", "obj", "g1", "v", "k")
+		res := f.wmeOf(1, "out", "obj", "g1")
+		return &Record{Prod: &rete.Production{Name: "p"}, Matched: []*wme.WME{cond}, Created: []*wme.WME{res}, Level: 2}
+	}
+	a1, n1, err := f.b.Build(mk())
+	if err != nil || a1 == nil {
+		t.Fatal(err)
+	}
+	a2, n2, err := f.b.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != nil {
+		t.Fatalf("duplicate chunk rebuilt")
+	}
+	if n2 != n1 {
+		t.Fatalf("duplicate name %q != %q", n2, n1)
+	}
+	if f.b.Count() != 1 {
+		t.Fatalf("Count = %d", f.b.Count())
+	}
+}
+
+func TestFreshActionIdentifiersGetGensymBinds(t *testing.T) {
+	f := newFixture()
+	f.id("g1")
+	f.id("n9") // fresh object created by the result
+	cond := f.wmeOf(1, "fact", "obj", "g1")
+	res := f.wmeOf(1, "out", "obj", "n9", "parent", "g1")
+	rec := &Record{Prod: &rete.Production{Name: "p"}, Matched: []*wme.WME{cond}, Created: []*wme.WME{res}, Level: 2}
+	ast, _, err := f.b.Build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundBind := false
+	for _, a := range ast.RHS {
+		if a.Kind == ops5.ActBind && a.Expr.Kind == ops5.ExprGensym {
+			foundBind = true
+		}
+	}
+	if !foundBind {
+		t.Fatalf("fresh identifier did not get a gensym bind:\n%s", ops5.Format(ast, f.tab))
+	}
+}
+
+func TestOrderLinkedConnectsConditions(t *testing.T) {
+	f := newFixture()
+	f.id("g1")
+	f.id("s1")
+	f.id("x2")
+	// Three conditions: a(g1,s1), c(x2) unlinked-first-by-id, b(s1,x2).
+	ca := f.wmeOf(1, "a", "obj", "g1", "v", "s1")
+	cc := f.wmeOf(1, "c", "obj", "x2")
+	cb := f.wmeOf(1, "b", "obj", "s1", "v", "x2")
+	res := f.wmeOf(1, "out", "obj", "g1")
+	rec := &Record{Prod: &rete.Production{Name: "p"}, Matched: []*wme.WME{ca, cc, cb}, Created: []*wme.WME{res}, Level: 2}
+	ast, _, err := f.b.Build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect order a, b, c: b links to a through s1; c links to b via x2.
+	classes := make([]string, len(ast.LHS))
+	for i, ci := range ast.LHS {
+		classes[i] = f.tab.Name(ci.CE.Class)
+	}
+	if classes[0] != "a" || classes[1] != "b" || classes[2] != "c" {
+		t.Fatalf("conditions not link-ordered: %v", classes)
+	}
+}

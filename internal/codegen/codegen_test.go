@@ -1,0 +1,135 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+func buildNet(t *testing.T, src string) (*rete.Network, []*rete.AddInfo) {
+	t.Helper()
+	tab := value.NewTable()
+	reg := wme.NewRegistry()
+	nw := rete.NewNetwork(tab, reg, nil, rete.DefaultOptions())
+	prog, err := ops5.Parse(src, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lit := range prog.Literalize {
+		reg.Declare(lit.Class, lit.Attrs...)
+	}
+	var infos []*rete.AddInfo
+	for _, p := range prog.Productions {
+		_, info, err := nw.AddProduction(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info)
+	}
+	return nw, infos
+}
+
+const threeCE = `
+(literalize a x y)
+(literalize b x)
+(literalize c x)
+(p p1 (a ^x <v> ^y 1) (b ^x <v>) -(c ^x <v>) --> (make o))
+`
+
+func TestCompileNodeShapes(t *testing.T) {
+	_, infos := buildNet(t, threeCE)
+	jt := NewJumptable()
+	res := CompileProduction(infos[0], jt)
+	if res.NewNodes != 4 { // 2 joins + 1 not + 1 P
+		t.Fatalf("new nodes = %d", res.NewNodes)
+	}
+	if res.TwoInput != 3 {
+		t.Fatalf("two-input = %d", res.TwoInput)
+	}
+	if res.Bytes == 0 || res.BytesPer2I == 0 {
+		t.Fatalf("no bytes accounted")
+	}
+	// Inline expansion: nodes with more tests emit more code.
+	var joinBytes, notBytes int
+	for _, nc := range res.PerNode {
+		switch nc.Kind {
+		case rete.KindJoin:
+			if joinBytes == 0 {
+				joinBytes = nc.Bytes()
+			}
+		case rete.KindNot:
+			notBytes = nc.Bytes()
+		}
+	}
+	if joinBytes == 0 || notBytes == 0 {
+		t.Fatalf("missing node code")
+	}
+	if !strings.Contains(res.String(), "p1") {
+		t.Fatalf("String missing name: %s", res.String())
+	}
+}
+
+func TestBytesPerTwoInputInPaperRange(t *testing.T) {
+	// The paper reports 219-304 bytes per two-input node (Table 5-1); the
+	// token-VM encoding should land in that neighbourhood for typical
+	// Soar-style joins.
+	_, infos := buildNet(t, `
+(literalize g id s)
+(literalize d s v n)
+(p big
+  (g ^id <g> ^s <s>)
+  (d ^s <s> ^v <v> ^n <n>)
+  (d ^s <s> ^v <n> ^n <> <v>)
+  (d ^s <s> ^v a ^n 3)
+  --> (make o))
+`)
+	jt := NewJumptable()
+	res := CompileProduction(infos[0], jt)
+	if res.BytesPer2I < 150 || res.BytesPer2I > 350 {
+		t.Fatalf("bytes/2-input node = %.0f, outside plausible NS32032 range", res.BytesPer2I)
+	}
+}
+
+func TestJumptableSplice(t *testing.T) {
+	jt := NewJumptable()
+	jt.Splice(0, 1)
+	jt.Splice(1, 2)
+	jt.Splice(1, 3) // second successor of node 1 shares its entry
+	if jt.Splices() != 3 {
+		t.Fatalf("splices = %d", jt.Splices())
+	}
+	if jt.Len() != 4 { // entries for 0,1,2,3
+		t.Fatalf("len = %d", jt.Len())
+	}
+	if f := jt.OverheadFraction(250); f <= 0 || f > 0.1 {
+		t.Fatalf("overhead fraction = %f", f)
+	}
+	if jt.OverheadFraction(0) != 0 {
+		t.Fatalf("zero-size overhead should be 0")
+	}
+}
+
+func TestSharingReducesEmittedBytes(t *testing.T) {
+	shared, sharedInfos := buildNet(t, threeCE+`
+(p p2 (a ^x <v> ^y 1) (b ^x <v>) -(c ^x 9) --> (make o2))
+`)
+	_ = shared
+	jt := NewJumptable()
+	r1 := CompileProduction(sharedInfos[0], jt)
+	r2 := CompileProduction(sharedInfos[1], jt)
+	if r2.Bytes >= r1.Bytes {
+		t.Fatalf("shared production should emit less code: %d vs %d", r2.Bytes, r1.Bytes)
+	}
+}
+
+func TestSizeCoversAllOpcodes(t *testing.T) {
+	for op := OpLabel; op <= OpReturn; op++ {
+		if op != OpLabel && Size(op) <= 0 {
+			t.Fatalf("opcode %d has nonpositive size", op)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package conflict implements the conflict set and OPS5 conflict
+// resolution. The set receives instantiation insertions and retractions
+// from the Rete P nodes (concurrently, during match) and supports two
+// consumers: OPS5's select-one-and-fire loop with the LEX and MEA
+// strategies, and Soar's fire-everything elaboration cycles, which drain
+// all newly added instantiations at quiescence (paper §3).
+package conflict
+
+import (
+	"sort"
+	"sync"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/wme"
+)
+
+// Instantiation is one production match: the production and the wmes that
+// satisfied its positive CEs, ordered by CE.
+type Instantiation struct {
+	Prod *rete.Production
+	Tok  *rete.Token
+	WMEs []*wme.WME
+}
+
+// TimeTags returns the instantiation's wme time tags sorted descending
+// (the LEX recency ordering key).
+func (in *Instantiation) TimeTags() []uint64 {
+	tags := make([]uint64, len(in.WMEs))
+	for i, w := range in.WMEs {
+		tags[i] = w.TimeTag
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] > tags[j] })
+	return tags
+}
+
+// Strategy is an OPS5 conflict-resolution strategy.
+type Strategy uint8
+
+// LEX orders by recency of all time tags then specificity; MEA first
+// compares the recency of the wme matching the first CE.
+const (
+	LEX Strategy = iota
+	MEA
+)
+
+// ParseStrategy converts the ops5 source form.
+func ParseStrategy(s string) Strategy {
+	if s == "mea" {
+		return MEA
+	}
+	return LEX
+}
+
+type instKey struct {
+	prod *rete.Production
+	hash uint64
+}
+
+// Set is the conflict set. It implements rete.ConflictListener.
+type Set struct {
+	mu    sync.Mutex
+	insts map[instKey][]*Instantiation
+	fired map[instKey][]*rete.Token // refraction memory
+	size  int
+
+	// Soar elaboration support: instantiations added/retracted since the
+	// last Drain.
+	added     []*Instantiation
+	retracted []*Instantiation
+}
+
+// New returns an empty conflict set.
+func New() *Set {
+	return &Set{
+		insts: make(map[instKey][]*Instantiation),
+		fired: make(map[instKey][]*rete.Token),
+	}
+}
+
+var _ rete.ConflictListener = (*Set)(nil)
+
+// Insert adds an instantiation (called by P nodes; concurrency-safe).
+func (s *Set) Insert(p *rete.Production, t *rete.Token) {
+	in := &Instantiation{Prod: p, Tok: t, WMEs: t.WMEs()}
+	k := instKey{p, t.Hash()}
+	s.mu.Lock()
+	s.insts[k] = append(s.insts[k], in)
+	s.size++
+	s.added = append(s.added, in)
+	s.mu.Unlock()
+}
+
+// Retract removes an instantiation. Retracting also clears its refraction
+// entry, so the same wme combination can fire again if re-derived (OPS5
+// semantics).
+func (s *Set) Retract(p *rete.Production, t *rete.Token) {
+	k := instKey{p, t.Hash()}
+	s.mu.Lock()
+	list := s.insts[k]
+	for i, in := range list {
+		if in.Tok.Equal(t) {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			s.size--
+			s.retracted = append(s.retracted, in)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.insts, k)
+	} else {
+		s.insts[k] = list
+	}
+	ref := s.fired[k]
+	for i, tok := range ref {
+		if tok.Equal(t) {
+			ref[i] = ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+			break
+		}
+	}
+	if len(ref) == 0 {
+		delete(s.fired, k)
+	} else {
+		s.fired[k] = ref
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of live instantiations.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// All returns the live instantiations (unordered).
+func (s *Set) All() []*Instantiation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Instantiation, 0, s.size)
+	for _, list := range s.insts {
+		out = append(out, list...)
+	}
+	return out
+}
+
+// Drain returns and clears the instantiations added and retracted since
+// the previous Drain — the input to one Soar elaboration-cycle firing.
+// An instantiation both added and retracted within the window was a
+// transient of parallel match (e.g. a token passed a negation before its
+// blocking pair arrived); the pair annihilates and neither is returned.
+func (s *Set) Drain() (added, retracted []*Instantiation) {
+	s.mu.Lock()
+	rawAdded, rawRetracted := s.added, s.retracted
+	s.added, s.retracted = nil, nil
+	s.mu.Unlock()
+	dead := make(map[*Instantiation]bool, len(rawRetracted))
+	for _, in := range rawRetracted {
+		dead[in] = true
+	}
+	for _, in := range rawAdded {
+		if dead[in] {
+			dead[in] = false // consume the pair
+			continue
+		}
+		added = append(added, in)
+	}
+	for _, in := range rawRetracted {
+		if v, ok := dead[in]; ok && !v {
+			delete(dead, in)
+			continue
+		}
+		retracted = append(retracted, in)
+	}
+	return
+}
+
+// Select applies conflict resolution: refraction, then the strategy's
+// recency ordering, then specificity. It returns nil when no unfired
+// instantiation remains, and marks the winner as fired.
+func (s *Set) Select(strat Strategy) *Instantiation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Instantiation
+	for k, list := range s.insts {
+		for _, in := range list {
+			if s.isFired(k, in.Tok) {
+				continue
+			}
+			if best == nil || better(in, best, strat) {
+				best = in
+			}
+		}
+	}
+	if best != nil {
+		k := instKey{best.Prod, best.Tok.Hash()}
+		s.fired[k] = append(s.fired[k], best.Tok)
+	}
+	return best
+}
+
+func (s *Set) isFired(k instKey, t *rete.Token) bool {
+	for _, tok := range s.fired[k] {
+		if tok.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// better reports whether a dominates b under the strategy.
+func better(a, b *Instantiation, strat Strategy) bool {
+	if strat == MEA {
+		var at, bt uint64
+		if len(a.WMEs) > 0 {
+			at = a.WMEs[0].TimeTag
+		}
+		if len(b.WMEs) > 0 {
+			bt = b.WMEs[0].TimeTag
+		}
+		if at != bt {
+			return at > bt
+		}
+	}
+	ta, tb := a.TimeTags(), b.TimeTags()
+	n := len(ta)
+	if len(tb) < n {
+		n = len(tb)
+	}
+	for i := 0; i < n; i++ {
+		if ta[i] != tb[i] {
+			return ta[i] > tb[i]
+		}
+	}
+	if len(ta) != len(tb) {
+		return len(ta) > len(tb)
+	}
+	sa, sb := Specificity(a.Prod.AST), Specificity(b.Prod.AST)
+	return sa > sb
+}
+
+// Specificity counts the attribute tests in a production's LHS (the OPS5
+// tie-breaker).
+func Specificity(p *ops5.Production) int {
+	n := 0
+	count := func(ce *ops5.CE) {
+		n++ // class test
+		for _, at := range ce.Tests {
+			n += len(at.Tests)
+		}
+	}
+	for _, ci := range p.LHS {
+		switch ci.Kind {
+		case ops5.CondPos, ops5.CondNeg:
+			count(ci.CE)
+		case ops5.CondNCC:
+			for _, ce := range ci.Sub {
+				count(ce)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The OPS5 semantic conformance battery: small programs with exact
+// expected output, each isolating one language or matcher behaviour.
+func TestOPS5Conformance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings that must appear in order
+	}{
+		{
+			name: "negation-toggles",
+			src: `
+(literalize a v)
+(literalize b v)
+(startup (make a ^v 1))
+(p no-b (a ^v <v>) -(b ^v <v>) --> (write no-b-yet) (make b ^v <v>))
+(p has-b (a ^v <v>) (b ^v <v>) --> (write b-appeared) (halt))
+`,
+			want: []string{"no-b-yet", "b-appeared"},
+		},
+		{
+			name: "disjunction-and-conjunction",
+			src: `
+(literalize sensor kind level)
+(startup (make sensor ^kind heat ^level 7)
+         (make sensor ^kind smoke ^level 2)
+         (make sensor ^kind gas ^level 9))
+(p alarm
+  { <s> (sensor ^kind { << heat gas >> <k> } ^level { > 5 <= 9 }) }
+  -->
+  (write alarm <k>)
+  (remove <s>))
+`,
+			want: []string{"alarm gas", "alarm heat"},
+		},
+		{
+			name: "same-type-predicate",
+			src: `
+(literalize pairx a b)
+(startup (make pairx ^a 3 ^b 4) (make pairx ^a 3 ^b sym))
+(p same-type { <p> (pairx ^a <x> ^b <=> <x>) } --> (write both-numeric) (remove <p>))
+`,
+			want: []string{"both-numeric"},
+		},
+		{
+			name: "cross-ce-inequality",
+			src: `
+(literalize person name team)
+(startup (make person ^name ann ^team red)
+         (make person ^name bob ^team red)
+         (make person ^name cid ^team blue))
+(p rivals
+  (person ^name ann ^team <t>)
+  { <o> (person ^team <> <t> ^name <n>) }
+  -->
+  (write rival <n>)
+  (remove <o>))
+`,
+			want: []string{"rival cid"},
+		},
+		{
+			name: "ncc-conjunction-vs-single",
+			src: `
+(literalize g id)
+(literalize x of)
+(literalize y of)
+(startup (make g ^id g1) (make x ^of g1))
+(p clear-ncc
+  (g ^id <i>)
+  -{ (x ^of <i>) (y ^of <i>) }
+  -->
+  (write conjunction-incomplete)
+  (make y ^of <i>))
+(p blocked-now
+  (g ^id <i>) (x ^of <i>) (y ^of <i>)
+  -->
+  (write both-present)
+  (halt))
+`,
+			want: []string{"conjunction-incomplete", "both-present"},
+		},
+		{
+			name: "modify-chain",
+			src: `
+(literalize acct bal)
+(startup (make acct ^bal 100))
+(p fee { <a> (acct ^bal { <b> > 10 }) } --> (modify <a> ^bal (compute <b> - 30)))
+(p broke (acct ^bal { <b> <= 10 }) --> (write left <b>) (halt))
+`,
+			want: []string{"left 10"},
+		},
+		{
+			name: "lex-recency-chain",
+			src: `
+(literalize step n)
+(startup (make step ^n 1))
+(p grow { <s> (step ^n { <n> < 4 }) } --> (write at <n>) (modify <s> ^n (compute <n> + 1)))
+(p end (step ^n 4) --> (write end) (halt))
+`,
+			want: []string{"at 1", "at 2", "at 3", "end"},
+		},
+		{
+			name: "intra-ce-variable",
+			src: `
+(literalize edge from to)
+(startup (make edge ^from a ^to a) (make edge ^from a ^to b))
+(p loop { <e> (edge ^from <x> ^to <x>) } --> (write self-loop <x>) (remove <e>) (halt))
+`,
+			want: []string{"self-loop a"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, procs := range []int{1, 4} {
+				cfg := DefaultConfig()
+				cfg.Processes = procs
+				_, out := run(t, tc.src, cfg)
+				pos := -1
+				for _, w := range tc.want {
+					i := strings.Index(out, w)
+					if i < 0 {
+						t.Fatalf("procs=%d: missing %q in output:\n%s", procs, w, out)
+					}
+					if i < pos {
+						t.Fatalf("procs=%d: %q out of order in:\n%s", procs, w, out)
+					}
+					pos = i
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,448 @@
+// Package engine assembles the match network, the parallel runtime and the
+// conflict set into a production-system engine. It supports the OPS5
+// match/select/fire loop (PSM-E's native mode) and exposes the primitives
+// Soar's Decide module drives: batched wme changes, match-to-quiescence,
+// fire-all instantiation draining, and run-time production addition with
+// the state-update cycle (paper §5).
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"soarpsme/internal/conflict"
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// Config configures an engine.
+type Config struct {
+	Processes    int
+	Policy       prun.Policy
+	Rete         rete.Options
+	CaptureTrace bool
+	// MaxCycles bounds the OPS5 recognize-act loop (0 = 10000).
+	MaxCycles int
+	// Output receives (write ...) action output; nil discards it.
+	Output io.Writer
+	// Watch prints a run trace to Output: 1 = production firings,
+	// 2 = firings plus working-memory changes (OPS5's watch levels).
+	Watch int
+}
+
+// DefaultConfig returns a single-process, multi-queue, shared-network
+// configuration.
+func DefaultConfig() Config {
+	return Config{Processes: 1, Policy: prun.MultiQueue, Rete: rete.DefaultOptions(), MaxCycles: 10000}
+}
+
+// Engine is a production-system engine instance.
+type Engine struct {
+	Tab *value.Table
+	Reg *wme.Registry
+	WM  *wme.Memory
+	NW  *rete.Network
+	RT  *prun.Runtime
+	CS  *conflict.Set
+
+	cfg      Config
+	strategy conflict.Strategy
+	halted   bool
+	gensym   int64
+
+	// CycleStats collects per-match-cycle statistics for the experiments.
+	CycleStats []prun.CycleStats
+	// UpdateStats collects the state-update cycles of run-time additions.
+	UpdateStats []prun.CycleStats
+	// Additions records every run-time production addition.
+	Additions []*AddResult
+	// Fired counts production firings.
+	Fired int
+	// AfterCycle, when set, runs at the end of every ApplyAndMatch (the
+	// experiment harness harvests per-cycle hash-line access counts here).
+	AfterCycle func(cs *prun.CycleStats)
+
+	// pendingExcise holds (excise ...) actions deferred to quiescence.
+	pendingExcise []string
+}
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	tab := value.NewTable()
+	reg := wme.NewRegistry()
+	cs := conflict.New()
+	nw := rete.NewNetwork(tab, reg, cs, cfg.Rete)
+	rt := prun.New(nw, prun.Config{Processes: cfg.Processes, Policy: cfg.Policy, CaptureTrace: cfg.CaptureTrace})
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 10000
+	}
+	return &Engine{Tab: tab, Reg: reg, WM: wme.NewMemory(), NW: nw, RT: rt, CS: cs, cfg: cfg}
+}
+
+// Halted reports whether a (halt) action has executed.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Strategy returns the loaded conflict-resolution strategy.
+func (e *Engine) Strategy() conflict.Strategy { return e.strategy }
+
+// LoadProgram parses and compiles an OPS5 source file: literalize
+// declarations, productions (built into the network before any wme
+// exists, so no state update is needed) and startup actions, which are
+// applied and matched.
+func (e *Engine) LoadProgram(src string) error {
+	prog, err := ops5.Parse(src, e.Tab)
+	if err != nil {
+		return err
+	}
+	for _, lit := range prog.Literalize {
+		e.Reg.Declare(lit.Class, lit.Attrs...)
+	}
+	e.strategy = conflict.ParseStrategy(prog.Strategy)
+	for _, p := range prog.Productions {
+		if _, _, err := e.NW.AddProduction(p); err != nil {
+			return err
+		}
+	}
+	if len(prog.Startup) > 0 {
+		deltas, err := e.execActions(prog.Startup, nil, nil)
+		if err != nil {
+			return err
+		}
+		e.ApplyAndMatch(deltas)
+	}
+	return nil
+}
+
+// ApplyAndMatch applies a batch of wme changes to working memory and runs
+// one parallel match cycle over them (match begins only after all changes
+// are applied — the paper's measurement methodology, §6).
+func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
+	applied := deltas[:0:0]
+	for _, d := range deltas {
+		switch d.Op {
+		case wme.Add:
+			e.WM.Insert(d.WME)
+			applied = append(applied, d)
+		case wme.Remove:
+			if e.WM.Delete(d.WME) {
+				applied = append(applied, d)
+			}
+		}
+	}
+	if e.cfg.Watch >= 2 && e.cfg.Output != nil {
+		for _, d := range applied {
+			mark := "=>WM:"
+			if d.Op == wme.Remove {
+				mark = "<=WM:"
+			}
+			fmt.Fprintf(e.cfg.Output, ";; %s %d %s\n", mark, d.WME.TimeTag, d.WME.Format(e.Tab, e.Reg))
+		}
+	}
+	cs := e.RT.RunCycle(applied)
+	e.CycleStats = append(e.CycleStats, cs)
+	if e.AfterCycle != nil {
+		e.AfterCycle(&e.CycleStats[len(e.CycleStats)-1])
+	}
+	return cs
+}
+
+// RunOPS5 executes the recognize-act cycle until quiescence, halt, or the
+// cycle bound. It returns the number of firings.
+func (e *Engine) RunOPS5() (int, error) {
+	fired := 0
+	for i := 0; i < e.cfg.MaxCycles && !e.halted; i++ {
+		inst := e.CS.Select(e.strategy)
+		if inst == nil {
+			break
+		}
+		deltas, err := e.FireInstantiation(inst)
+		if err != nil {
+			return fired, err
+		}
+		fired++
+		e.ApplyAndMatch(deltas)
+		for _, name := range e.pendingExcise {
+			if err := e.ExciseProduction(name); err != nil {
+				return fired, err
+			}
+		}
+		e.pendingExcise = e.pendingExcise[:0]
+	}
+	return fired, nil
+}
+
+// FireInstantiation evaluates an instantiation's RHS, returning the wme
+// changes it produces (and performing write/halt/bind side effects).
+func (e *Engine) FireInstantiation(inst *conflict.Instantiation) ([]wme.Delta, error) {
+	e.Fired++
+	if e.cfg.Watch >= 1 && e.cfg.Output != nil {
+		tags := make([]uint64, len(inst.WMEs))
+		for i, w := range inst.WMEs {
+			tags[i] = w.TimeTag
+		}
+		fmt.Fprintf(e.cfg.Output, ";; FIRE %s %v\n", inst.Prod.Name, tags)
+	}
+	return e.execActions(inst.Prod.AST.RHS, inst.Prod, inst.Tok)
+}
+
+// locals carries (bind ...) variables during one RHS evaluation.
+type locals map[value.Sym]value.Value
+
+// execActions evaluates a list of RHS actions. prod/tok are nil for
+// startup actions.
+func (e *Engine) execActions(acts []*ops5.Action, prod *rete.Production, tok *rete.Token) ([]wme.Delta, error) {
+	var deltas []wme.Delta
+	env := locals{}
+	removed := map[uint64]bool{}
+	for _, a := range acts {
+		switch a.Kind {
+		case ops5.ActMake:
+			w, err := e.makeWME(a, prod, tok, env)
+			if err != nil {
+				return nil, err
+			}
+			deltas = append(deltas, wme.Delta{Op: wme.Add, WME: w})
+		case ops5.ActRemove:
+			w, err := e.actionTarget(a, prod, tok)
+			if err != nil {
+				return nil, err
+			}
+			if !removed[w.ID] {
+				removed[w.ID] = true
+				deltas = append(deltas, wme.Delta{Op: wme.Remove, WME: w})
+			}
+		case ops5.ActModify:
+			old, err := e.actionTarget(a, prod, tok)
+			if err != nil {
+				return nil, err
+			}
+			fields := make([]value.Value, len(old.Fields))
+			copy(fields, old.Fields)
+			for _, set := range a.Sets {
+				idx, ok := e.Reg.FieldIndex(old.Class, set.Attr, true)
+				if !ok {
+					return nil, fmt.Errorf("engine: modify: bad attribute")
+				}
+				for idx >= len(fields) {
+					fields = append(fields, value.Nil)
+				}
+				v, err := e.evalExpr(set.Expr, prod, tok, env)
+				if err != nil {
+					return nil, err
+				}
+				fields[idx] = v
+			}
+			if !removed[old.ID] {
+				removed[old.ID] = true
+				deltas = append(deltas, wme.Delta{Op: wme.Remove, WME: old})
+			}
+			deltas = append(deltas, wme.Delta{Op: wme.Add, WME: e.WM.Make(old.Class, fields)})
+		case ops5.ActWrite:
+			if e.cfg.Output != nil {
+				for i, arg := range a.Args {
+					v, err := e.evalExpr(arg, prod, tok, env)
+					if err != nil {
+						return nil, err
+					}
+					if i > 0 {
+						fmt.Fprint(e.cfg.Output, " ")
+					}
+					fmt.Fprint(e.cfg.Output, e.Tab.Format(v))
+				}
+				fmt.Fprintln(e.cfg.Output)
+			}
+		case ops5.ActHalt:
+			e.halted = true
+		case ops5.ActBind:
+			v, err := e.evalExpr(a.Expr, prod, tok, env)
+			if err != nil {
+				return nil, err
+			}
+			env[a.Var] = v
+		case ops5.ActExcise:
+			// Network surgery must wait for quiescence; the excise runs
+			// after this firing's match cycle completes.
+			e.pendingExcise = append(e.pendingExcise, a.Name)
+		}
+	}
+	return deltas, nil
+}
+
+// makeWME builds the wme for a make action.
+func (e *Engine) makeWME(a *ops5.Action, prod *rete.Production, tok *rete.Token, env locals) (*wme.WME, error) {
+	schema := e.Reg.Get(a.Class, true)
+	fields := make([]value.Value, schema.Width())
+	for _, set := range a.Sets {
+		idx, ok := e.Reg.FieldIndex(a.Class, set.Attr, true)
+		if !ok {
+			return nil, fmt.Errorf("engine: make: bad attribute")
+		}
+		for idx >= len(fields) {
+			fields = append(fields, value.Nil)
+		}
+		v, err := e.evalExpr(set.Expr, prod, tok, env)
+		if err != nil {
+			return nil, err
+		}
+		fields[idx] = v
+	}
+	return e.WM.Make(a.Class, fields), nil
+}
+
+// actionTarget resolves the wme a remove/modify refers to: a 1-based CE
+// position or an element variable.
+func (e *Engine) actionTarget(a *ops5.Action, prod *rete.Production, tok *rete.Token) (*wme.WME, error) {
+	if prod == nil || tok == nil {
+		return nil, fmt.Errorf("engine: remove/modify outside a firing")
+	}
+	var tag int
+	if a.Elem != 0 {
+		t, ok := prod.ElemCE[a.Elem]
+		if !ok {
+			return nil, fmt.Errorf("engine: %s: unbound element variable", prod.Name)
+		}
+		tag = t
+	} else {
+		tag = prod.ActionCE[a.CE-1]
+	}
+	w := tok.WMEAt(tag)
+	if w == nil {
+		return nil, fmt.Errorf("engine: %s: action target has no wme", prod.Name)
+	}
+	return w, nil
+}
+
+// evalExpr evaluates an RHS expression.
+func (e *Engine) evalExpr(x *ops5.Expr, prod *rete.Production, tok *rete.Token, env locals) (value.Value, error) {
+	switch x.Kind {
+	case ops5.ExprConst:
+		return x.Val, nil
+	case ops5.ExprVar:
+		if v, ok := env[x.Var]; ok {
+			return v, nil
+		}
+		if prod != nil && tok != nil {
+			if bd, ok := prod.Bindings[x.Var]; ok {
+				w := tok.WMEAt(bd.CE)
+				if w == nil {
+					return value.Nil, fmt.Errorf("engine: unbound CE %d", bd.CE)
+				}
+				return w.Field(bd.Field), nil
+			}
+		}
+		return value.Nil, fmt.Errorf("engine: unbound variable <%s>", e.Tab.Name(x.Var))
+	case ops5.ExprGensym:
+		e.gensym++
+		return e.Tab.SymV(fmt.Sprintf("g%d", e.gensym)), nil
+	case ops5.ExprCompute:
+		l, err := e.evalExpr(x.L, prod, tok, env)
+		if err != nil {
+			return value.Nil, err
+		}
+		r, err := e.evalExpr(x.R, prod, tok, env)
+		if err != nil {
+			return value.Nil, err
+		}
+		return compute(x.Op, l, r)
+	}
+	return value.Nil, fmt.Errorf("engine: bad expression")
+}
+
+func compute(op byte, l, r value.Value) (value.Value, error) {
+	if !l.Numeric() || !r.Numeric() {
+		return value.Nil, fmt.Errorf("engine: compute on non-numeric values")
+	}
+	if l.Kind == value.KindInt && r.Kind == value.KindInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case '+':
+			return value.IntVal(a + b), nil
+		case '-':
+			return value.IntVal(a - b), nil
+		case '*':
+			return value.IntVal(a * b), nil
+		case '/':
+			if b == 0 {
+				return value.Nil, fmt.Errorf("engine: division by zero")
+			}
+			return value.IntVal(a / b), nil
+		case '%':
+			if b == 0 {
+				return value.Nil, fmt.Errorf("engine: modulo by zero")
+			}
+			return value.IntVal(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case '+':
+		return value.FloatVal(a + b), nil
+	case '-':
+		return value.FloatVal(a - b), nil
+	case '*':
+		return value.FloatVal(a * b), nil
+	case '/':
+		if b == 0 {
+			return value.Nil, fmt.Errorf("engine: division by zero")
+		}
+		return value.FloatVal(a / b), nil
+	case '%':
+		return value.Nil, fmt.Errorf("engine: modulo on floats")
+	}
+	return value.Nil, fmt.Errorf("engine: bad operator %q", op)
+}
+
+// AddResult reports a run-time production addition (paper §5).
+type AddResult struct {
+	Prod *rete.Production
+	Info *rete.AddInfo
+	// CompileTime is the wall-clock code-generation/integration time.
+	CompileTime time.Duration
+	// Update is the state-update cycle's statistics (zero when WM empty).
+	Update prun.CycleStats
+}
+
+// AddProductionRuntime adds a production while the system is running
+// (chunking): it compiles the production into the shared network and then
+// runs the §5.2 state-update cycle — replaying WM through the network with
+// the update filter engaged and seeding the first new nodes from the last
+// shared node's stored state — so the chunk is immediately available.
+// The caller must be at quiescence.
+func (e *Engine) AddProductionRuntime(ast *ops5.Production) (*AddResult, error) {
+	start := time.Now()
+	prod, info, err := e.NW.AddProduction(ast)
+	if err != nil {
+		return nil, err
+	}
+	res := &AddResult{Prod: prod, Info: info, CompileTime: time.Since(start)}
+	if e.WM.Len() > 0 && len(info.NewBeta) > 0 {
+		e.RT.SetUpdateFilter(info.FirstNewID)
+		seeds := e.NW.SeedUpdateTasks(info)
+		res.Update = e.RT.RunSeeded(seeds, e.WM.All())
+		e.RT.SetUpdateFilter(0)
+		e.UpdateStats = append(e.UpdateStats, res.Update)
+	}
+	e.Additions = append(e.Additions, res)
+	return res, nil
+}
+
+// ExciseProduction removes a production at run time (OPS5's excise): its
+// unshared nodes are detached, their match state purged, and its live
+// instantiations retracted from the conflict set. The caller must be at
+// quiescence.
+func (e *Engine) ExciseProduction(name string) error {
+	return e.NW.RemoveProduction(name)
+}
+
+// CheckInvariants verifies quiescent-state invariants (no outstanding
+// tombstones); tests and the Soar engine call it between cycles.
+func (e *Engine) CheckInvariants() error {
+	if n := e.NW.Mem.Tombstones(); n != 0 {
+		return fmt.Errorf("engine: %d outstanding tombstones at quiescence", n)
+	}
+	return nil
+}

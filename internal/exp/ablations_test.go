@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellInt(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return n
+}
+
+func TestAblationMemoriesHashingWins(t *testing.T) {
+	tbl := AblationMemories(sharedLab)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	hashed := cellInt(t, tbl.Rows[0][1])
+	linear := cellInt(t, tbl.Rows[1][1])
+	// §6.1: hashing reduces comparisons — by a lot.
+	if linear < 3*hashed {
+		t.Fatalf("hashing should cut comparisons >=3x: hashed %d, linear %d", hashed, linear)
+	}
+}
+
+func TestAblationSharingReducesNodes(t *testing.T) {
+	tbl := AblationSharing(sharedLab)
+	shared := cellInt(t, tbl.Rows[0][1])
+	unshared := cellInt(t, tbl.Rows[1][1])
+	if shared >= unshared {
+		t.Fatalf("sharing should reduce two-input nodes: %d vs %d", shared, unshared)
+	}
+}
+
+func TestAblationAsyncLiftsSpeedup(t *testing.T) {
+	tbl := AblationAsync(sharedLab)
+	for _, row := range tbl.Rows {
+		syncSp := parseF(t, row[1])
+		asyncSp := parseF(t, row[2])
+		if asyncSp <= syncSp {
+			t.Errorf("%s: async upper bound (%.2f) not above sync (%.2f)", row[0], asyncSp, syncSp)
+		}
+	}
+}
+
+func TestDiagnoseFindsLongChains(t *testing.T) {
+	diags := Diagnose(sharedLab.EightPuzzle(DuringChunk), 11, 5)
+	if len(diags) == 0 {
+		t.Fatalf("no low-speedup cycles found")
+	}
+	causes := map[string]int{}
+	for _, d := range diags {
+		causes[d.Cause]++
+		if d.Speedup >= 5 {
+			t.Fatalf("diagnosis above threshold: %+v", d)
+		}
+	}
+	if causes["long-chain"] == 0 {
+		t.Errorf("no long-chain diagnosis (causes: %v)", causes)
+	}
+	// Long-chain diagnoses name a production and suggest bilinear.
+	for _, d := range diags {
+		if d.Cause == "long-chain" {
+			if d.Production == "" || !strings.Contains(d.Suggestion, "bilinear") {
+				t.Fatalf("long-chain diagnosis incomplete: %+v", d)
+			}
+			break
+		}
+	}
+	if tbl := DiagnoseTable(sharedLab); len(tbl.Rows) == 0 {
+		t.Fatalf("DiagnoseTable empty")
+	}
+}
+
+func TestLongRunChunkingGrows(t *testing.T) {
+	tbl := LongRunChunking(sharedLab)
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	firstChunks := cellInt(t, tbl.Rows[0][3])
+	lastChunks := cellInt(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if lastChunks <= firstChunks {
+		t.Fatalf("chunks did not accumulate: %d -> %d", firstChunks, lastChunks)
+	}
+	firstNodes := cellInt(t, tbl.Rows[0][4])
+	lastNodes := cellInt(t, tbl.Rows[len(tbl.Rows)-1][4])
+	if lastNodes <= firstNodes {
+		t.Fatalf("network did not grow: %d -> %d", firstNodes, lastNodes)
+	}
+	// §6.3: parallelism grows as chunks accumulate.
+	firstSp := parseF(t, tbl.Rows[0][5])
+	lastSp := parseF(t, tbl.Rows[len(tbl.Rows)-1][5])
+	if lastSp <= firstSp {
+		t.Fatalf("parallelism did not grow with learning: %.2f -> %.2f", firstSp, lastSp)
+	}
+}
+
+func TestAblationAdaptiveQueuesOracleAtLeastMulti(t *testing.T) {
+	tbl := AblationAdaptiveQueues(sharedLab)
+	for _, row := range tbl.Rows {
+		if parseF(t, row[2]) < parseF(t, row[1])-0.01 {
+			t.Errorf("%s: oracle (%s) below always-multi (%s)", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestSummaryAllShapesHold(t *testing.T) {
+	tbl := Summary(sharedLab)
+	if len(tbl.Rows) < 9 {
+		t.Fatalf("scorecard too short: %d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "holds" {
+			t.Errorf("%s: %s (paper %q, measured %q)", row[0], row[3], row[1], row[2])
+		}
+	}
+}

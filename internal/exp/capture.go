@@ -1,0 +1,299 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§5-§6). Each experiment has one driver function returning a stats.Table
+// or stats.Figure; the Lab captures each workload's task-dependency traces
+// once (sequentially, for determinism) and the drivers replay them on the
+// simulated multiprocessor (internal/sim) — see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"soarpsme/internal/codegen"
+	"soarpsme/internal/engine"
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/soar"
+	"soarpsme/internal/tasks/cypress"
+	"soarpsme/internal/tasks/eightpuzzle"
+	"soarpsme/internal/tasks/strips"
+)
+
+// QueueOp is the simulated task-queue lock service time (µs).
+const QueueOp = 60
+
+// Capture is one instrumented run of a workload.
+type Capture struct {
+	Name string
+	// Traces holds one task-DAG per match cycle (normal cycles only).
+	Traces [][]prun.TaskRec
+	// UpdateTraces holds the state-update cycles of run-time additions.
+	UpdateTraces [][]prun.TaskRec
+	// TasksPerCycle mirrors Traces (tasks executed per cycle).
+	TasksPerCycle []int
+	Tasks         int
+	TotalCost     int64
+	// BucketAccesses holds per-line left-token access counts per cycle
+	// (Figure 6-2's contention measure).
+	BucketAccesses []int
+	// Chunks built/added during the run.
+	ChunkCEs    []int
+	ChunkBytes  []int
+	ChunkNew2In []int
+	// SharedTwoInput counts join nodes reused by run-time additions.
+	SharedTwoInput int
+	Halted         bool
+	Decisions      int
+	Moves          int // operator decisions in the top goal
+	// TaskProdCEs is the CE count of each task (non-chunk) production.
+	TaskProdCEs []int
+	// Agent/engine are retained for follow-up queries (chunk transfer).
+	agent *soar.Agent
+	eng   *engine.Engine
+}
+
+func (c *Capture) harvest(e *engine.Engine) {
+	for _, cs := range e.CycleStats {
+		if len(cs.Trace) > 0 {
+			c.Traces = append(c.Traces, cs.Trace)
+		}
+		c.TasksPerCycle = append(c.TasksPerCycle, cs.Tasks)
+		c.Tasks += cs.Tasks
+		c.TotalCost += cs.TotalCost
+	}
+	for _, cs := range e.UpdateStats {
+		if len(cs.Trace) > 0 {
+			c.UpdateTraces = append(c.UpdateTraces, cs.Trace)
+		}
+		c.Tasks += cs.Tasks
+		c.TotalCost += cs.TotalCost
+	}
+	jt := codegen.NewJumptable()
+	for _, add := range e.Additions {
+		c.ChunkCEs = append(c.ChunkCEs, countCEs(add.Prod.AST))
+		cg := codegen.CompileProduction(add.Info, jt)
+		c.ChunkBytes = append(c.ChunkBytes, cg.Bytes)
+		c.ChunkNew2In = append(c.ChunkNew2In, cg.TwoInput)
+		c.SharedTwoInput += add.Info.SharedTwoInput
+	}
+	for _, p := range e.NW.Productions() {
+		if !strings.HasPrefix(p.Name, "chunk-") && !strings.HasPrefix(p.Name, "cy-chunk-") {
+			c.TaskProdCEs = append(c.TaskProdCEs, countCEs(p.AST))
+		}
+	}
+}
+
+func countCEs(p *ops5.Production) int {
+	n := 0
+	for _, ci := range p.LHS {
+		switch ci.Kind {
+		case ops5.CondPos, ops5.CondNeg:
+			n++
+		case ops5.CondNCC:
+			n += len(ci.Sub)
+		}
+	}
+	return n
+}
+
+// Mode selects a run variant.
+type Mode int
+
+// The three run modes of §3.
+const (
+	NoChunk Mode = iota
+	DuringChunk
+	AfterChunk
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoChunk:
+		return "without-chunking"
+	case DuringChunk:
+		return "during-chunking"
+	}
+	return "after-chunking"
+}
+
+// Lab lazily captures and caches workload runs.
+type Lab struct {
+	cache map[string]*Capture
+	opts  rete.Options
+}
+
+// NewLab returns an empty lab with default network options.
+func NewLab() *Lab {
+	return &Lab{cache: map[string]*Capture{}, opts: rete.DefaultOptions()}
+}
+
+func engCfg(opts rete.Options) engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Processes = 1 // sequential capture: deterministic traces
+	cfg.CaptureTrace = true
+	cfg.Rete = opts
+	return cfg
+}
+
+// SoarTask captures a Soar task run in the given mode. For AfterChunk, the
+// chunks learned in a DuringChunk run of the same task are transferred
+// into a fresh agent before the run.
+func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) *Capture {
+	key := fmt.Sprintf("%s/%v/org%d", name, mode, l.opts.Organization)
+	if c, ok := l.cache[key]; ok {
+		return c
+	}
+	cfg := soar.Config{
+		Engine:       engCfg(l.opts),
+		Chunking:     mode != NoChunk,
+		MaxDecisions: 400,
+	}
+	a, err := soar.New(cfg, task)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", name, err))
+	}
+	cap := &Capture{Name: key, agent: a, eng: a.Eng}
+	a.Eng.AfterCycle = func(*prun.CycleStats) {
+		cap.BucketAccesses = append(cap.BucketAccesses, a.Eng.NW.Mem.HarvestAccessCounts()...)
+	}
+	if mode == AfterChunk {
+		during := l.SoarTask(name, task, DuringChunk)
+		for _, p := range during.eng.NW.Productions() {
+			if strings.HasPrefix(p.Name, "chunk-") {
+				if _, err := a.Eng.AddProductionRuntime(p.AST); err != nil {
+					panic(fmt.Sprintf("exp: transfer %s: %v", p.Name, err))
+				}
+			}
+		}
+		// Transfer-time update stats are not part of the measured run.
+		a.Eng.UpdateStats = nil
+		a.Eng.Additions = nil
+	}
+	res, err := a.Run()
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s run: %v", name, err))
+	}
+	cap.Halted = res.Halted
+	cap.Decisions = res.Decisions
+	cap.harvest(a.Eng)
+	l.cache[key] = cap
+	return cap
+}
+
+// soarTaskSeeded runs a during-chunking capture seeded with every chunk
+// (including transferred ones) present in a previous capture's network —
+// the long-run learning regime of §7.
+func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Capture {
+	key := fmt.Sprintf("%s/seeded", name)
+	if c, ok := l.cache[key]; ok {
+		return c
+	}
+	cfg := soar.Config{
+		Engine:       engCfg(l.opts),
+		Chunking:     true,
+		MaxDecisions: 150, // fixed-budget episodes for the long-run study
+	}
+	a, err := soar.New(cfg, task)
+	if err != nil {
+		panic(err)
+	}
+	cap := &Capture{Name: key, agent: a, eng: a.Eng}
+	if prev != nil {
+		n := 0
+		for _, p := range prev.eng.NW.Productions() {
+			if strings.HasPrefix(p.Name, "chunk-") || strings.HasPrefix(p.Name, "xfer-") {
+				n++
+				clone := *p.AST
+				// Rename so the new agent's own chunk counter can't collide.
+				clone.Name = fmt.Sprintf("xfer-%d-%s", n, name)
+				if _, err := a.Eng.AddProductionRuntime(&clone); err != nil {
+					panic(err)
+				}
+			}
+		}
+		a.Eng.UpdateStats = nil
+	}
+	res, err := a.Run()
+	if err != nil {
+		panic(err)
+	}
+	cap.Halted = res.Halted
+	cap.Decisions = res.Decisions
+	cap.Moves = res.OperatorDecisions
+	cap.harvest(a.Eng)
+	l.cache[key] = cap
+	return cap
+}
+
+// EightPuzzle captures the Eight-Puzzle-Soar run.
+func (l *Lab) EightPuzzle(mode Mode) *Capture {
+	return l.SoarTask("eight-puzzle", eightpuzzle.Default(), mode)
+}
+
+// Strips captures the Strips-Soar run.
+func (l *Lab) Strips(mode Mode) *Capture {
+	return l.SoarTask("strips", strips.Default(), mode)
+}
+
+// Cypress captures the synthetic Cypress run. NoChunk runs the driver with
+// only the task productions; DuringChunk adds the 26 chunks at their
+// scripted points; AfterChunk preloads all chunks before driving.
+func (l *Lab) Cypress(mode Mode) *Capture {
+	key := fmt.Sprintf("cypress/%v/org%d", mode, l.opts.Organization)
+	if c, ok := l.cache[key]; ok {
+		return c
+	}
+	sys := cypress.Generate(cypress.DefaultParams())
+	e := engine.New(engCfg(l.opts))
+	if err := e.LoadProgram(sys.Source); err != nil {
+		panic(err)
+	}
+	cap := &Capture{Name: key, eng: e}
+	e.AfterCycle = func(*prun.CycleStats) {
+		cap.BucketAccesses = append(cap.BucketAccesses, e.NW.Mem.HarvestAccessCounts()...)
+	}
+	if mode == AfterChunk {
+		for i := range sys.ChunkSrcs {
+			ast, err := sys.ParseChunk(i, e.Tab)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := e.AddProductionRuntime(ast); err != nil {
+				panic(err)
+			}
+		}
+		e.UpdateStats = nil // preload is not part of the measured run
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+	next := 0
+	for cyc := 0; cyc < sys.Params.Cycles; cyc++ {
+		e.ApplyAndMatch(drv.Batch())
+		if mode == DuringChunk {
+			for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
+				ast, err := sys.ParseChunk(next, e.Tab)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := e.AddProductionRuntime(ast); err != nil {
+					panic(err)
+				}
+				next++
+			}
+		}
+	}
+	cap.Halted = true
+	cap.Decisions = sys.Params.Cycles
+	cap.harvest(e)
+	l.cache[key] = cap
+	return cap
+}
+
+// Workloads returns the three paper tasks in the given mode.
+func (l *Lab) Workloads(mode Mode) []*Capture {
+	return []*Capture{l.EightPuzzle(mode), l.Strips(mode), l.Cypress(mode)}
+}
+
+// TaskNames are the display names, in the paper's order.
+var TaskNames = []string{"Eight-puzzle", "Strips", "Cypress"}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+
+	"soarpsme/internal/sim"
+	"soarpsme/internal/stats"
+)
+
+// Summary builds the one-page reproduction scorecard: for every artifact
+// of the paper's evaluation, the paper's headline number, the measured
+// value from this run, and whether the qualitative shape held. The checks
+// are computed live, so the scorecard cannot drift from the code.
+func Summary(l *Lab) *stats.Table {
+	t := &stats.Table{
+		Title:   "Reproduction scorecard (shape targets; see EXPERIMENTS.md for discussion)",
+		Headers: []string{"Artifact", "Paper headline", "Measured", "Shape"},
+	}
+	check := func(ok bool) string {
+		if ok {
+			return "holds"
+		}
+		return "DIVERGES"
+	}
+
+	// Table 5-1: chunks bigger than task productions; bytes/node in band.
+	{
+		c := l.Cypress(DuringChunk)
+		taskCEs, chunkCEs := mean(c.TaskProdCEs), mean(c.ChunkCEs)
+		t.AddRow("Table 5-1 (Cypress CEs)", "26 task / 51 chunk",
+			fmt.Sprintf("%.0f task / %.0f chunk", taskCEs, chunkCEs),
+			check(chunkCEs > taskCEs))
+		bytes, n2in := 0, 0
+		for _, b := range c.ChunkBytes {
+			bytes += b
+		}
+		for _, n := range c.ChunkNew2In {
+			n2in += n
+		}
+		per := float64(bytes) / float64(maxi(1, n2in))
+		t.AddRow("Table 5-1 (bytes/2-input node)", "219-304",
+			fmt.Sprintf("%.0f", per), check(per >= 180 && per <= 350))
+	}
+
+	// Table 6-1: ~400 µs tasks.
+	{
+		c := l.EightPuzzle(NoChunk)
+		one := sim.MultiCycle(c.Traces, sim.Config{Processes: 1, QueueOp: QueueOp})
+		avg := float64(one.TotalWork) / float64(maxi(1, one.Tasks))
+		t.AddRow("Table 6-1 (µs/task)", "400-438",
+			fmt.Sprintf("%.0f", avg), check(avg > 250 && avg < 550))
+	}
+
+	// Figures 6-1/6-4: single-queue cap lifted by multiple queues.
+	{
+		c := l.Strips(NoChunk)
+		s1 := sim.RunSpeedup(c.Traces, 13, sim.SingleQueue, QueueOp)
+		s2 := sim.RunSpeedup(c.Traces, 13, sim.MultiQueue, QueueOp)
+		t.AddRow("Fig 6-1 vs 6-4 (Strips @13)", "≈4.2 → ≈7",
+			fmt.Sprintf("%.1f → %.1f", s1, s2), check(s2 > s1 && s1 < 6))
+	}
+
+	// Figure 6-2: Strips is the contended task.
+	{
+		share := func(c *Capture) float64 {
+			byCount, total := map[int]int{}, 0
+			for _, n := range c.BucketAccesses {
+				byCount[n] += n
+				total += n
+			}
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(byCount[1]) / float64(total)
+		}
+		ep, st := share(l.EightPuzzle(NoChunk)), share(l.Strips(NoChunk))
+		t.AddRow("Fig 6-2 (Strips contention)", "Strips worst",
+			fmt.Sprintf("1-access: EP %.0f%%, Strips %.0f%%", ep, st), check(st < ep))
+	}
+
+	// Figure 6-9: update phase parallelizes.
+	{
+		c := l.Strips(DuringChunk)
+		sp := sim.RunSpeedup(c.UpdateTraces, 13, sim.MultiQueue, QueueOp)
+		t.AddRow("Fig 6-9 (update speedup @13)", "high",
+			fmt.Sprintf("%.1f", sp), check(sp > 1.5))
+	}
+
+	// Figure 6-10: Eight-puzzle after chunking ≈ 10×.
+	{
+		c := l.EightPuzzle(AfterChunk)
+		sp := sim.RunSpeedup(c.Traces, 13, sim.MultiQueue, QueueOp)
+		t.AddRow("Fig 6-10 (EP after-chunking @13)", "≈10",
+			fmt.Sprintf("%.1f", sp), check(sp >= 8))
+	}
+
+	// Figures 6-11/12: histogram shift.
+	{
+		massAbove := func(c *Capture, cut int) float64 {
+			h := stats.NewHistogram(25)
+			for _, n := range c.TasksPerCycle {
+				h.Add(n)
+			}
+			return h.PercentAtOrAbove(cut)
+		}
+		b := massAbove(l.EightPuzzle(NoChunk), 200)
+		a := massAbove(l.EightPuzzle(AfterChunk), 200)
+		t.AddRow("Fig 6-11/12 (cycles ≥200 tasks)", "3% → 30%+",
+			fmt.Sprintf("%.0f%% → %.0f%%", b, a), check(a > b))
+	}
+
+	// §6.3: chunking increases total match work on the Eight-puzzle.
+	{
+		nc, ac := l.EightPuzzle(NoChunk).Tasks, l.EightPuzzle(AfterChunk).Tasks
+		t.AddRow("§6.3 (EP match work growth)", "expensive chunks",
+			fmt.Sprintf("%d → %d tasks", nc, ac), check(ac > nc))
+	}
+
+	// Fig 6-8: bilinear cuts the monitor chain.
+	{
+		tbl := Fig68(l)
+		var lin, bil int
+		fmt.Sscanf(tbl.Rows[0][1], "%d", &lin)
+		fmt.Sscanf(tbl.Rows[1][1], "%d", &bil)
+		t.AddRow("Fig 6-8 (monitor chain)", "43 → 15 CEs",
+			fmt.Sprintf("%d → %d nodes", lin, bil), check(bil < lin))
+	}
+	return t
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+
+	"soarpsme/internal/value"
+)
+
+const roundtripSrc = `(p complex
+  (block ^name <b> ^color blue ^size { > 3 <= 10 })
+  -(block ^on <b>)
+  -{ (door ^in <s> ^status closed)
+    (lock ^door <s>) }
+  (light ^color << red green >>)
+  -->
+  (bind <g>)
+  (bind <m> (compute <n> + 1))
+  (make out ^obj <b> ^tag <g>)
+  (modify 1 ^color red)
+  (remove 4)
+  (write found <b>)
+  (halt))`
+
+func TestFormatRoundTrip(t *testing.T) {
+	tab := value.NewTable()
+	src := strings.Replace(roundtripSrc, "<n>", "<b>", 1) // keep vars bound
+	p1, err := ParseProduction(src, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1, tab)
+	p2, err := ParseProduction(text, tab)
+	if err != nil {
+		t.Fatalf("formatted production does not re-parse: %v\n%s", err, text)
+	}
+	// Compare structure by re-formatting.
+	if Format(p2, tab) != text {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", text, Format(p2, tab))
+	}
+	if len(p2.LHS) != len(p1.LHS) || len(p2.RHS) != len(p1.RHS) {
+		t.Fatalf("structure changed in round trip")
+	}
+}
+
+func TestFormatPredicatesAndDisjunction(t *testing.T) {
+	tab := value.NewTable()
+	p, err := ParseProduction(`(p x (c ^a <> 5 ^b >= <v> ^c << p q >>) --> (halt))`, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p, tab)
+	for _, want := range []string{"<> 5", ">= <v>", "<< p q >>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatComputeDivision(t *testing.T) {
+	tab := value.NewTable()
+	p, err := ParseProduction(`(p x (c ^a <v>) --> (make o ^n (compute <v> // 2)))`, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p, tab)
+	if !strings.Contains(out, "(compute <v> // 2)") {
+		t.Fatalf("compute formatting wrong:\n%s", out)
+	}
+	if _, err := ParseProduction(out, tab); err != nil {
+		t.Fatalf("compute round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package prun is the parallel match runtime of PSM-E (§2.3): node
+// activations are tasks held in shared task queues and executed by a fixed
+// set of match processes (goroutines). It supports the paper's two
+// scheduling policies — one shared task queue, and one queue per process
+// with cycle-stealing (§6.1/Figure 6-4) — counts lock contention and failed
+// pop operations, and can capture the task-dependency trace of each cycle
+// for the multiprocessor simulator.
+package prun
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"soarpsme/internal/rete"
+	"soarpsme/internal/spin"
+	"soarpsme/internal/wme"
+)
+
+// Policy selects the task-queue organization.
+type Policy uint8
+
+// SingleQueue is one shared queue (Figure 6-1); MultiQueue gives each match
+// process its own queue with stealing from the others (Figure 6-4).
+const (
+	SingleQueue Policy = iota
+	MultiQueue
+)
+
+func (p Policy) String() string {
+	if p == SingleQueue {
+		return "single-queue"
+	}
+	return "multi-queue"
+}
+
+// Config configures the runtime.
+type Config struct {
+	// Processes is the number of match processes (the paper varies 1..13).
+	Processes int
+	Policy    Policy
+	// CaptureTrace records the task DAG of each cycle for the simulator.
+	CaptureTrace bool
+}
+
+// TaskRec is one executed task in a cycle trace.
+type TaskRec struct {
+	Seq    int64
+	Parent int64 // 0 for injected root tasks
+	Node   rete.NodeID
+	Kind   rete.BetaKind
+	Cost   int64
+}
+
+// CycleStats summarizes one match cycle.
+type CycleStats struct {
+	Tasks      int
+	TotalCost  int64 // summed modeled task cost (sequential work, µs)
+	FailedPops int64
+	Trace      []TaskRec
+}
+
+// Runtime drives a rete.Network with parallel match processes.
+type Runtime struct {
+	nw  *rete.Network
+	cfg Config
+
+	queues  []*taskQueue
+	pending atomic.Int64
+	seq     atomic.Int64
+	// minNodeID, when nonzero, drops activations of older nodes — the
+	// run-time update filter (paper §5.2).
+	minNodeID  atomic.Uint32
+	failedPops atomic.Int64
+	rrInject   atomic.Int64
+
+	traceMu sync.Mutex
+	trace   []TaskRec
+}
+
+type taskQueue struct {
+	lock  spin.Lock
+	tasks []*rete.Task
+}
+
+// New creates a runtime with the given configuration.
+func New(nw *rete.Network, cfg Config) *Runtime {
+	if cfg.Processes < 1 {
+		cfg.Processes = 1
+	}
+	nq := 1
+	if cfg.Policy == MultiQueue {
+		nq = cfg.Processes
+	}
+	rt := &Runtime{nw: nw, cfg: cfg, queues: make([]*taskQueue, nq)}
+	for i := range rt.queues {
+		rt.queues[i] = &taskQueue{}
+	}
+	return rt
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetUpdateFilter engages (nonzero) or clears (zero) the update-cycle node
+// filter.
+func (rt *Runtime) SetUpdateFilter(firstNew rete.NodeID) {
+	rt.minNodeID.Store(uint32(firstNew))
+}
+
+// sched is the per-worker scheduler handed to rete.Exec; worker w pushes
+// onto its own queue under MultiQueue.
+type sched struct {
+	rt *Runtime
+	q  *taskQueue
+}
+
+// Push enqueues a child activation.
+func (s sched) Push(t *rete.Task) {
+	rt := s.rt
+	if min := rt.minNodeID.Load(); min != 0 && uint32(t.Node.ID) < min {
+		return
+	}
+	t.Seq = rt.seq.Add(1)
+	rt.pending.Add(1)
+	q := s.q
+	q.lock.Lock()
+	q.tasks = append(q.tasks, t)
+	q.lock.Unlock()
+}
+
+// injectSched spreads root tasks round-robin over all queues.
+func (rt *Runtime) injectSched() sched {
+	i := rt.rrInject.Add(1)
+	return sched{rt: rt, q: rt.queues[int(i)%len(rt.queues)]}
+}
+
+// pop removes the most recent task from q (LIFO, like PSM-E's stack
+// queues, which favors depth-first chain following).
+func (q *taskQueue) pop() *rete.Task {
+	q.lock.Lock()
+	n := len(q.tasks)
+	if n == 0 {
+		q.lock.Unlock()
+		return nil
+	}
+	t := q.tasks[n-1]
+	q.tasks = q.tasks[:n-1]
+	q.lock.Unlock()
+	return t
+}
+
+// RunCycle injects the wme changes of one cycle and runs match to
+// quiescence. Per the paper's measurement methodology (§6), all wme changes
+// are applied before match begins.
+func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
+	rt.failedPops.Store(0)
+	if rt.cfg.CaptureTrace {
+		rt.trace = rt.trace[:0]
+	}
+	for _, d := range deltas {
+		s := rt.injectSched()
+		rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
+			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: w})
+		})
+	}
+	return rt.runToQuiescence()
+}
+
+// RunSeeded pushes pre-built tasks (the update algorithm's last-shared-node
+// replay) plus full-WM right replay, then runs to quiescence. The update
+// filter must already be engaged.
+func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
+	rt.failedPops.Store(0)
+	if rt.cfg.CaptureTrace {
+		rt.trace = rt.trace[:0]
+	}
+	for _, t := range seeds {
+		rt.injectSched().Push(t)
+	}
+	for _, w := range all {
+		s := rt.injectSched()
+		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
+			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
+		})
+	}
+	return rt.runToQuiescence()
+}
+
+func (rt *Runtime) runToQuiescence() CycleStats {
+	var (
+		wg        sync.WaitGroup
+		tasks     atomic.Int64
+		totalCost atomic.Int64
+	)
+	workers := rt.cfg.Processes
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			own := rt.queues[id%len(rt.queues)]
+			mySched := sched{rt: rt, q: own}
+			var local []TaskRec
+			for {
+				t := own.pop()
+				if t == nil && len(rt.queues) > 1 {
+					for i := 1; i < len(rt.queues) && t == nil; i++ {
+						t = rt.queues[(id+i)%len(rt.queues)].pop()
+					}
+				}
+				if t == nil {
+					rt.failedPops.Add(1)
+					if rt.pending.Load() == 0 {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				cost := rt.nw.Exec(t, mySched)
+				t.Cost = cost
+				tasks.Add(1)
+				totalCost.Add(cost)
+				if rt.cfg.CaptureTrace {
+					local = append(local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
+				}
+				rt.pending.Add(-1)
+			}
+			if len(local) > 0 {
+				rt.traceMu.Lock()
+				rt.trace = append(rt.trace, local...)
+				rt.traceMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	cs := CycleStats{
+		Tasks:      int(tasks.Load()),
+		TotalCost:  totalCost.Load(),
+		FailedPops: rt.failedPops.Load(),
+	}
+	if rt.cfg.CaptureTrace {
+		cs.Trace = append([]TaskRec(nil), rt.trace...)
+	}
+	return cs
+}
+
+// QueueLockStats sums (spins, acquires) over the task-queue locks — the
+// paper's spins/task contention measure (Figure 6-3).
+func (rt *Runtime) QueueLockStats() (spins, acquires uint64) {
+	for _, q := range rt.queues {
+		s, a := q.lock.Stats()
+		spins += s
+		acquires += a
+	}
+	return
+}
+
+// ResetQueueLockStats zeroes the queue-lock counters.
+func (rt *Runtime) ResetQueueLockStats() {
+	for _, q := range rt.queues {
+		q.lock.ResetStats()
+	}
+}

@@ -1,0 +1,306 @@
+package prun
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// csCount is a minimal concurrency-safe conflict listener.
+type csCount struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (c *csCount) Insert(p *rete.Production, t *rete.Token) {
+	c.mu.Lock()
+	c.m[key(p, t)]++
+	c.mu.Unlock()
+}
+
+func (c *csCount) Retract(p *rete.Production, t *rete.Token) {
+	c.mu.Lock()
+	c.m[key(p, t)]--
+	if c.m[key(p, t)] == 0 {
+		delete(c.m, key(p, t))
+	}
+	c.mu.Unlock()
+}
+
+func key(p *rete.Production, t *rete.Token) string {
+	ids := []uint64{}
+	for _, w := range t.WMEs() {
+		ids = append(ids, w.ID)
+	}
+	return fmt.Sprintf("%s%v", p.Name, ids)
+}
+
+func (c *csCount) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for k, n := range c.m {
+		out = append(out, fmt.Sprintf("%s=%d", k, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildNet compiles a fan-out heavy program: many independent pairs match
+// in one cycle, giving the runtime real parallel work.
+func buildNet(t *testing.T) (*rete.Network, *csCount, []*wme.WME) {
+	t.Helper()
+	tab := value.NewTable()
+	reg := wme.NewRegistry()
+	cs := &csCount{m: map[string]int{}}
+	nw := rete.NewNetwork(tab, reg, cs, rete.DefaultOptions())
+	src := `
+(p pair (a ^k <k>) (b ^k <k>) --> (make o))
+(p triple (a ^k <k>) (b ^k <k>) (c ^k <k>) --> (make o2))
+(p nopair (a ^k <k>) -(b ^k <k>) --> (make o3))
+`
+	prog, err := ops5.Parse(src, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range prog.Productions {
+		if _, _, err := nw.AddProduction(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := wme.NewMemory()
+	var ws []*wme.WME
+	mk := func(class string, k int) *wme.WME {
+		cls := tab.Intern(class)
+		idx, _ := reg.FieldIndex(cls, tab.Intern("k"), true)
+		fields := make([]value.Value, idx+1)
+		fields[idx] = value.IntVal(int64(k))
+		w := mem.Make(cls, fields)
+		return w
+	}
+	for k := 0; k < 40; k++ {
+		ws = append(ws, mk("a", k))
+		if k%2 == 0 {
+			ws = append(ws, mk("b", k))
+		}
+		if k%4 == 0 {
+			ws = append(ws, mk("c", k))
+		}
+	}
+	return nw, cs, ws
+}
+
+func deltas(ws []*wme.WME) []wme.Delta {
+	out := make([]wme.Delta, len(ws))
+	for i, w := range ws {
+		out[i] = wme.Delta{Op: wme.Add, WME: w}
+	}
+	return out
+}
+
+func TestRunCycleSequential(t *testing.T) {
+	nw, cs, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 1, Policy: SingleQueue})
+	st := rt.RunCycle(deltas(ws))
+	if st.Tasks == 0 {
+		t.Fatalf("no tasks executed")
+	}
+	if st.TotalCost == 0 {
+		t.Fatalf("no cost accumulated")
+	}
+	// 20 pairs, 10 triples, 20 nopairs.
+	if got := len(cs.keys()); got != 50 {
+		t.Fatalf("instantiations = %d, want 50", got)
+	}
+	if n := nw.Mem.Tombstones(); n != 0 {
+		t.Fatalf("tombstones = %d", n)
+	}
+}
+
+func TestParallelEquivalenceAcrossConfigs(t *testing.T) {
+	ref := func() []string {
+		nw, cs, ws := buildNet(t)
+		rt := New(nw, Config{Processes: 1, Policy: SingleQueue})
+		rt.RunCycle(deltas(ws))
+		return cs.keys()
+	}()
+	for _, procs := range []int{2, 3, 5, 8, 13} {
+		for _, pol := range []Policy{SingleQueue, MultiQueue} {
+			nw, cs, ws := buildNet(t)
+			rt := New(nw, Config{Processes: procs, Policy: pol})
+			rt.RunCycle(deltas(ws))
+			if got := cs.keys(); fmt.Sprint(got) != fmt.Sprint(ref) {
+				t.Fatalf("procs=%d %v diverged:\n got %v\nwant %v", procs, pol, got, ref)
+			}
+			if n := nw.Mem.Tombstones(); n != 0 {
+				t.Fatalf("procs=%d %v: tombstones = %d", procs, pol, n)
+			}
+		}
+	}
+}
+
+func TestAddRemoveCancel(t *testing.T) {
+	// Adding then removing the same wmes across cycles leaves everything
+	// empty, under all configurations.
+	for _, procs := range []int{1, 4, 8} {
+		nw, cs, ws := buildNet(t)
+		rt := New(nw, Config{Processes: procs, Policy: MultiQueue})
+		rt.RunCycle(deltas(ws))
+		var dels []wme.Delta
+		for _, w := range ws {
+			dels = append(dels, wme.Delta{Op: wme.Remove, WME: w})
+		}
+		rt.RunCycle(dels)
+		if got := cs.keys(); len(got) != 0 {
+			t.Fatalf("procs=%d: CS not empty: %v", procs, got)
+		}
+		if l, r := nw.Mem.Entries(); l != 0 || r != 0 {
+			t.Fatalf("procs=%d: memories not empty: %d,%d", procs, l, r)
+		}
+	}
+}
+
+func TestMixedAddRemoveSameCycle(t *testing.T) {
+	// A single cycle containing both adds and removes (OPS5 modify) stays
+	// consistent under parallel execution — the conjugate-pair stress.
+	for trial := 0; trial < 10; trial++ {
+		nw, cs, ws := buildNet(t)
+		rt := New(nw, Config{Processes: 8, Policy: MultiQueue})
+		rt.RunCycle(deltas(ws))
+		before := cs.keys()
+		// Remove all b wmes and re-add equivalents in one cycle: final CS
+		// must be isomorphic (same counts per production).
+		var batch []wme.Delta
+		for _, w := range ws {
+			if w.Class == 2 { // class "b" interned second
+				batch = append(batch, wme.Delta{Op: wme.Remove, WME: w})
+				clone := &wme.WME{ID: w.ID + 10000, TimeTag: w.TimeTag + 10000, Class: w.Class, Fields: w.Fields}
+				batch = append(batch, wme.Delta{Op: wme.Add, WME: clone})
+			}
+		}
+		rt.RunCycle(batch)
+		if n := nw.Mem.Tombstones(); n != 0 {
+			t.Fatalf("trial %d: tombstones = %d", trial, n)
+		}
+		if len(cs.keys()) != len(before) {
+			t.Fatalf("trial %d: CS size changed: %d -> %d", trial, len(before), len(cs.keys()))
+		}
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	nw, _, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 1, Policy: SingleQueue, CaptureTrace: true})
+	st := rt.RunCycle(deltas(ws))
+	if len(st.Trace) != st.Tasks {
+		t.Fatalf("trace len %d != tasks %d", len(st.Trace), st.Tasks)
+	}
+	seqs := map[int64]bool{}
+	for _, r := range st.Trace {
+		if r.Cost <= 0 {
+			t.Fatalf("task with nonpositive cost")
+		}
+		seqs[r.Seq] = true
+	}
+	if len(seqs) != st.Tasks {
+		t.Fatalf("duplicate seqs in trace")
+	}
+	// Parents either 0 (injected) or an executed task.
+	for _, r := range st.Trace {
+		if r.Parent != 0 && !seqs[r.Parent] {
+			t.Fatalf("task %d has unknown parent %d", r.Seq, r.Parent)
+		}
+	}
+}
+
+func TestQueueLockStats(t *testing.T) {
+	nw, _, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 4, Policy: SingleQueue})
+	rt.RunCycle(deltas(ws))
+	_, acq := rt.QueueLockStats()
+	if acq == 0 {
+		t.Fatalf("no queue lock acquisitions recorded")
+	}
+	rt.ResetQueueLockStats()
+	s, a := rt.QueueLockStats()
+	if s != 0 || a != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestUpdateFilterDropsOldNodes(t *testing.T) {
+	nw, cs, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 2, Policy: MultiQueue})
+	rt.SetUpdateFilter(rete.NodeID(1 << 30)) // drop everything
+	st := rt.RunCycle(deltas(ws))
+	if st.Tasks != 0 {
+		t.Fatalf("filter leaked %d tasks", st.Tasks)
+	}
+	if len(cs.keys()) != 0 {
+		t.Fatalf("filtered run changed CS")
+	}
+	rt.SetUpdateFilter(0)
+	st = rt.RunCycle(deltas(ws))
+	if st.Tasks == 0 {
+		t.Fatalf("filter not cleared")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if SingleQueue.String() != "single-queue" || MultiQueue.String() != "multi-queue" {
+		t.Fatalf("Policy.String wrong")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	nw, _, _ := buildNet(t)
+	rt := New(nw, Config{})
+	if rt.Config().Processes != 1 {
+		t.Fatalf("default processes = %d", rt.Config().Processes)
+	}
+}
+
+func TestRunSeededDirectly(t *testing.T) {
+	// Exercise RunSeeded at the prun level: build a network, load wmes,
+	// then add a production and run the seeded update cycle.
+	nw, cs, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 2, Policy: MultiQueue, CaptureTrace: true})
+	rt.RunCycle(deltas(ws))
+	before := len(cs.keys())
+
+	tab := nw.Tab
+	ast, err := ops5.ParseProduction(`(p seeded (a ^k <k>) (c ^k <k>) --> (make o9))`, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := nw.AddProduction(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetUpdateFilter(info.FirstNewID)
+	var all []*wme.WME
+	for _, w := range ws {
+		all = append(all, w)
+	}
+	st := rt.RunSeeded(nw.SeedUpdateTasks(info), all)
+	rt.SetUpdateFilter(0)
+	if st.Tasks == 0 {
+		t.Fatalf("seeded run executed nothing")
+	}
+	if len(st.Trace) != st.Tasks {
+		t.Fatalf("trace incomplete")
+	}
+	// 10 (a,c) pairs appear.
+	if got := len(cs.keys()); got != before+10 {
+		t.Fatalf("CS after seeded update = %d, want %d", got, before+10)
+	}
+	if n := nw.Mem.Tombstones(); n != 0 {
+		t.Fatalf("tombstones: %d", n)
+	}
+}

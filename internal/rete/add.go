@@ -1,0 +1,74 @@
+package rete
+
+import "soarpsme/internal/wme"
+
+// This file implements the run-time state-update algorithm of paper §5.2.
+//
+// When a chunk is added at quiescence, its unshared suffix of nodes is
+// empty of state. The update replays working memory through the normal
+// network while the task queues ignore activations of nodes older than the
+// first new node, and the *last shared node* is specially executed to pass
+// down the partial instantiations it has stored. Because new node IDs are
+// strictly larger than all old IDs and sharing is lost monotonically along
+// a production's chain, "ID >= FirstNewID" identifies exactly the nodes to
+// update, and the full parallelism of the match speeds up the update
+// (Figure 6-9).
+
+// SeedUpdateTasks builds the "last shared node" replay tasks: for every
+// boundary node (a new node whose left — or, for bilinear joins, right —
+// input comes from a pre-existing node), one activation per stored output
+// token of that shared parent. The caller must also replay all of WM
+// through the alpha network with the update filter engaged (UpdateFilter).
+func (nw *Network) SeedUpdateTasks(info *AddInfo) []*Task {
+	var seeds []*Task
+	isNew := func(n *BetaNode) bool { return n != nil && n.ID >= info.FirstNewID }
+	for _, f := range info.Boundary {
+		if f.Parent == nil {
+			// Top-level joins hold the dummy token implicitly; their state
+			// comes entirely from the WM right-replay.
+			continue
+		}
+		if !isNew(f.Parent) {
+			for _, tok := range nw.dumpOutputs(f.Parent, info.FirstNewID) {
+				seeds = append(seeds, &Task{Node: f, Dir: DirLeft, Op: wme.Add, Tok: tok})
+			}
+		}
+		if f.Kind == KindJoinBB && !isNew(f.RightParent) {
+			for _, tok := range nw.dumpOutputs(f.RightParent, info.FirstNewID) {
+				seeds = append(seeds, &Task{Node: f, Dir: DirRight, Op: wme.Add, Tok: tok})
+			}
+		}
+	}
+	return seeds
+}
+
+// dumpOutputs reconstructs the output-token set of a shared node p by
+// reading the left memory of one of its pre-existing children (every
+// child's left store holds exactly p's outputs). p == nil is the dummy
+// top, whose single output is the empty token.
+func (nw *Network) dumpOutputs(p *BetaNode, firstNew NodeID) []*Token {
+	if p == nil {
+		return []*Token{DummyTop}
+	}
+	for _, c := range p.Children {
+		if c.ID >= firstNew {
+			continue
+		}
+		switch c.Kind {
+		case KindJoin, KindNot, KindNCC, KindP:
+			return nw.Mem.DumpLeft(c.ID)
+		case KindJoinBB:
+			if c.Parent == p {
+				return nw.Mem.DumpLeft(c.ID)
+			}
+			return nw.Mem.DumpRightSubs(c.ID)
+		case KindNCCPartner:
+			// The partner stores its inputs as sub-results keyed under
+			// its NCC node's ID.
+			return nw.Mem.DumpRightSubs(c.Partner.ID)
+		}
+	}
+	// p existed before this addition, so it must have had a child; an
+	// empty answer here means p simply has no stored outputs yet.
+	return nil
+}

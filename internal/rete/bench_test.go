@@ -1,0 +1,129 @@
+package rete
+
+import (
+	"fmt"
+	"testing"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// benchNet builds a mid-sized network with real fan-out for matcher
+// microbenchmarks.
+func benchNet(b *testing.B) (*Network, *wme.Memory, *serialSched, *value.Table, *wme.Registry) {
+	b.Helper()
+	tab := value.NewTable()
+	reg := wme.NewRegistry()
+	nw := NewNetwork(tab, reg, newCS(), DefaultOptions())
+	src := "(literalize item id kind group v)\n"
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf(`(p bp%d
+  (item ^kind k%d ^id <a> ^v <x>)
+  (item ^group g%d ^id { <> <a> <b> } ^v <x>)
+  -(item ^kind blocker ^v <x>)
+  -->
+  (make out))
+`, i, i%5, i%4)
+	}
+	prog, err := ops5.Parse(src, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lit := range prog.Literalize {
+		reg.Declare(lit.Class, lit.Attrs...)
+	}
+	for _, p := range prog.Productions {
+		if _, _, err := nw.AddProduction(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nw, wme.NewMemory(), &serialSched{}, tab, reg
+}
+
+// BenchmarkWMEChange measures one add+remove through the whole network
+// (alpha walk, joins, negation bookkeeping, CS updates).
+func BenchmarkWMEChange(b *testing.B) {
+	nw, mem, sched, tab, reg := benchNet(b)
+	cls := tab.Intern("item")
+	mkField := func(attr, v string) (int, value.Value) {
+		idx, _ := reg.FieldIndex(cls, tab.Intern(attr), true)
+		return idx, tab.SymV(v)
+	}
+	inject := func(d wme.Delta) {
+		nw.Inject(d, func(n *BetaNode, w *wme.WME, op wme.Op) {
+			sched.Push(&Task{Node: n, Dir: DirRight, Op: op, W: w})
+		})
+		drain(nw, sched)
+	}
+	// Background population.
+	for i := 0; i < 50; i++ {
+		fields := make([]value.Value, 4)
+		for _, kv := range [][2]string{{"id", fmt.Sprintf("i%d", i)}, {"kind", fmt.Sprintf("k%d", i%5)}, {"group", fmt.Sprintf("g%d", i%4)}, {"v", fmt.Sprintf("v%d", i%7)}} {
+			idx, v := mkField(kv[0], kv[1])
+			fields[idx] = v
+		}
+		w := mem.Make(cls, fields)
+		mem.Insert(w)
+		inject(wme.Delta{Op: wme.Add, WME: w})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fields := make([]value.Value, 4)
+		for _, kv := range [][2]string{{"id", "probe"}, {"kind", "k1"}, {"group", "g1"}, {"v", fmt.Sprintf("v%d", i%7)}} {
+			idx, v := mkField(kv[0], kv[1])
+			fields[idx] = v
+		}
+		w := mem.Make(cls, fields)
+		mem.Insert(w)
+		inject(wme.Delta{Op: wme.Add, WME: w})
+		mem.Delete(w)
+		inject(wme.Delta{Op: wme.Remove, WME: w})
+	}
+}
+
+// BenchmarkTokenOps measures token construction, hashing and equality.
+func BenchmarkTokenOps(b *testing.B) {
+	ws := make([]*wme.WME, 8)
+	for i := range ws {
+		ws[i] = mkWME(uint64(i + 1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := DummyTop
+		for j, w := range ws {
+			t = Extend(t, j, w)
+		}
+		u := DummyTop
+		for j, w := range ws {
+			u = Extend(u, j, w)
+		}
+		if t.Hash() != u.Hash() || !t.Equal(u) {
+			b.Fatal("token mismatch")
+		}
+	}
+}
+
+// BenchmarkProductionAdd measures run-time addition (build only) against a
+// populated network.
+func BenchmarkProductionAdd(b *testing.B) {
+	nw, _, _, tab, _ := benchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := fmt.Sprintf(`(p add%d
+  (item ^kind k1 ^id <a> ^v <x>)
+  (item ^group g1 ^id { <> <a> <b> } ^v <x>)
+  (item ^kind k%d ^v <x>)
+  -->
+  (make out2))`, i, i%5)
+		ast, err := ops5.ParseProduction(src, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := nw.AddProduction(ast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

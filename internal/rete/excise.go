@@ -1,0 +1,133 @@
+package rete
+
+import "fmt"
+
+// RemoveProduction excises a production from the network at quiescence:
+// nodes used only by this production are detached and their stored state
+// purged from the global token tables; nodes shared with other productions
+// survive untouched. Live instantiations of the production are retracted
+// from the conflict set. (OPS5's excise; PSM-E needed only addition for
+// chunking, but removal completes run-time network modification and is the
+// inverse used by long-running learning experiments.)
+func (nw *Network) RemoveProduction(name string) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	prod := nw.prods[name]
+	if prod == nil {
+		return fmt.Errorf("rete: production %q not defined", name)
+	}
+
+	// Retract the production's live instantiations.
+	if nw.CS != nil {
+		for _, tok := range nw.Mem.DumpLeft(prod.PNode.ID) {
+			nw.CS.Retract(prod, tok)
+		}
+	}
+
+	// Collect the production's node chain bottom-up: parents, bilinear
+	// right parents, and NCC partners with their sub-chains.
+	var chain []*BetaNode
+	seen := map[NodeID]bool{}
+	var walk func(n *BetaNode)
+	walk = func(n *BetaNode) {
+		for n != nil && !seen[n.ID] {
+			seen[n.ID] = true
+			chain = append(chain, n)
+			if n.Kind == KindNCC && n.Partner != nil {
+				walk(n.Partner)
+			}
+			if n.Kind == KindJoinBB {
+				walk(n.RightParent)
+			}
+			n = n.Parent
+		}
+	}
+	walk(prod.PNode)
+
+	// Decrement reference counts bottom-up; detach nodes that reach zero.
+	for _, n := range chain {
+		n.refs--
+		if n.refs > 0 {
+			continue
+		}
+		nw.detach(n)
+		nw.Mem.PurgeNode(n.ID)
+		if n.Kind != KindP {
+			nw.nTwoInput--
+		}
+	}
+
+	delete(nw.prods, name)
+	for i, p := range nw.prodOrder {
+		if p == prod {
+			nw.prodOrder = append(nw.prodOrder[:i], nw.prodOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// detach unwires a dead node from its parents and alpha memory.
+func (nw *Network) detach(n *BetaNode) {
+	removeChild := func(list []*BetaNode) []*BetaNode {
+		for i, c := range list {
+			if c == n {
+				return append(list[:i:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	if n.Parent != nil {
+		n.Parent.Children = removeChild(n.Parent.Children)
+	} else {
+		nw.topNodes = removeChild(nw.topNodes)
+	}
+	if n.Kind == KindJoinBB && n.RightParent != nil {
+		n.RightParent.Children = removeChild(n.RightParent.Children)
+	}
+	if n.Alpha != nil {
+		for i, s := range n.Alpha.Succs {
+			if s == n {
+				n.Alpha.Succs = append(n.Alpha.Succs[:i:i], n.Alpha.Succs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// PurgeNode removes every memory entry stored under a node (both tables).
+func (m *Mem) PurgeNode(node NodeID) {
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		var lp *LEntry
+		for e := l.left; e != nil; {
+			next := e.next
+			if e.node == node {
+				if lp == nil {
+					l.left = next
+				} else {
+					lp.next = next
+				}
+			} else {
+				lp = e
+			}
+			e = next
+		}
+		var rp *REntry
+		for e := l.right; e != nil; {
+			next := e.next
+			if e.node == node {
+				if rp == nil {
+					l.right = next
+				} else {
+					rp.next = next
+				}
+			} else {
+				rp = e
+			}
+			e = next
+		}
+		l.Lock.Unlock()
+	}
+}

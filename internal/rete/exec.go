@@ -1,0 +1,447 @@
+package rete
+
+import (
+	"fmt"
+
+	"soarpsme/internal/wme"
+)
+
+// Dir is the input arc of a two-input node activation.
+type Dir uint8
+
+// DirLeft activations carry tokens (partial instantiations); DirRight
+// activations carry wmes from an alpha memory (or, for bilinear joins and
+// NCC partners, tokens from a side chain).
+const (
+	DirLeft Dir = iota
+	DirRight
+)
+
+func (d Dir) String() string {
+	if d == DirLeft {
+		return "left"
+	}
+	return "right"
+}
+
+// Task is one node activation — the unit of parallelism in PSM-E (§2.3).
+// Seq/ParentSeq/Cost are trace metadata filled by the runtime.
+type Task struct {
+	Node *BetaNode
+	Dir  Dir
+	Op   wme.Op
+	Tok  *Token   // left activations; BB right and NCC-partner inputs
+	W    *wme.WME // join/not right activations
+
+	Seq       int64
+	ParentSeq int64
+	Cost      int64
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("%v %v %v", t.Node, t.Dir, t.Op)
+}
+
+// Scheduler receives the child activations a task produces.
+type Scheduler interface {
+	Push(t *Task)
+}
+
+// Activation cost model, in simulated microseconds on the paper's 0.75-MIPS
+// NS32032. Calibrated so the mean task cost lands near the ~400 µs of
+// Table 6-1 on the three reproduced workloads.
+const (
+	CostBetaBase  = 260 // dequeue + dispatch + hash + lock/unlock
+	CostCompare   = 35  // one join-test evaluation
+	CostEmit      = 75  // build token + queue a child activation
+	CostMemInsert = 60  // hash-line insert or remove
+	CostPNode     = 220 // conflict-set update
+)
+
+// Exec executes one node activation, pushing child activations onto s.
+// It returns the task's modeled cost. Exec is safe for concurrent use by
+// many workers.
+func (nw *Network) Exec(t *Task, s Scheduler) int64 {
+	nw.Stats.Activations.Add(1)
+	var cost int64 = CostBetaBase
+	emitted := 0
+	emit := func(from *BetaNode, tok *Token, op wme.Op) {
+		for _, c := range from.Children {
+			dir := DirLeft
+			if c.Kind == KindJoinBB && c.RightParent == from {
+				dir = DirRight
+			}
+			s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq})
+			emitted++
+		}
+	}
+
+	n := t.Node
+	switch n.Kind {
+	case KindJoin:
+		cost += nw.execJoin(t, emit)
+	case KindNot:
+		cost += nw.execNot(t, emit)
+	case KindNCC:
+		cost += nw.execNCC(t, emit)
+	case KindNCCPartner:
+		cost += nw.execPartner(t, emit)
+	case KindJoinBB:
+		cost += nw.execJoinBB(t, emit)
+	case KindP:
+		cost += nw.execP(t)
+	}
+	cost += int64(emitted) * CostEmit
+	nw.Stats.TokensEmitted.Add(int64(emitted))
+	if emitted == 0 {
+		nw.Stats.NullActs.Add(1)
+	}
+	return cost
+}
+
+func (nw *Network) execJoin(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+	n := t.Node
+	var cost int64
+	if t.Dir == DirLeft {
+		key := n.leftKeyFromToken(t.Tok)
+		line := nw.Mem.line(n.ID, key)
+		var matches []*wme.WME
+		line.Lock.Lock()
+		proceed := true
+		if t.Op == wme.Add {
+			_, annihilated := line.addLeft(n.ID, key, t.Tok, 0)
+			proceed = !annihilated
+		} else {
+			_, found := line.removeLeft(n.ID, key, t.Tok)
+			proceed = found
+		}
+		comparisons := 0
+		if proceed {
+			line.eachRight(n.ID, key, func(e *REntry) {
+				ok, c := n.testPair(t.Tok, e.w)
+				comparisons += c
+				if ok {
+					matches = append(matches, e.w)
+				}
+			})
+		}
+		line.Lock.Unlock()
+		nw.Stats.Comparisons.Add(int64(comparisons))
+		cost += CostMemInsert + int64(comparisons)*CostCompare
+		for _, w := range matches {
+			emit(n, Extend(t.Tok, n.RightCE, w), t.Op)
+		}
+		return cost
+	}
+	// Right activation: a wme from the alpha memory.
+	key := n.rightKeyFromWME(t.W)
+	line := nw.Mem.line(n.ID, key)
+	var matches []*Token
+	line.Lock.Lock()
+	proceed := true
+	if t.Op == wme.Add {
+		proceed = !line.addRight(n.ID, key, t.W)
+	} else {
+		proceed = line.removeRight(n.ID, key, t.W)
+	}
+	comparisons := 0
+	if proceed {
+		if n.Parent == nil {
+			// Top-level join: the left memory implicitly holds exactly the
+			// dummy top token (first CEs have no join tests).
+			matches = append(matches, DummyTop)
+		} else {
+			line.eachLeft(n.ID, key, func(e *LEntry) {
+				ok, c := n.testPair(e.tok, t.W)
+				comparisons += c
+				if ok {
+					matches = append(matches, e.tok)
+				}
+			})
+		}
+	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	cost += CostMemInsert + int64(comparisons)*CostCompare
+	for _, tok := range matches {
+		emit(n, Extend(tok, n.RightCE, t.W), t.Op)
+	}
+	return cost
+}
+
+func (nw *Network) execNot(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+	n := t.Node
+	var cost int64
+	if t.Dir == DirLeft {
+		key := n.leftKeyFromToken(t.Tok)
+		line := nw.Mem.line(n.ID, key)
+		comparisons := 0
+		pass := false
+		line.Lock.Lock()
+		if t.Op == wme.Add {
+			var count int32
+			line.eachRight(n.ID, key, func(e *REntry) {
+				ok, c := n.testPair(t.Tok, e.w)
+				comparisons += c
+				if ok {
+					count++
+				}
+			})
+			_, annihilated := line.addLeft(n.ID, key, t.Tok, count)
+			pass = !annihilated && count == 0
+		} else {
+			e, found := line.removeLeft(n.ID, key, t.Tok)
+			pass = found && e.count == 0
+		}
+		line.Lock.Unlock()
+		nw.Stats.Comparisons.Add(int64(comparisons))
+		cost += CostMemInsert + int64(comparisons)*CostCompare
+		if pass {
+			emit(n, t.Tok, t.Op)
+		}
+		return cost
+	}
+	// Right activation: a blocking wme appears or disappears.
+	key := n.rightKeyFromWME(t.W)
+	line := nw.Mem.line(n.ID, key)
+	var flips []*Token
+	comparisons := 0
+	line.Lock.Lock()
+	if t.Op == wme.Add {
+		if !line.addRight(n.ID, key, t.W) {
+			line.eachLeft(n.ID, key, func(e *LEntry) {
+				ok, c := n.testPair(e.tok, t.W)
+				comparisons += c
+				if ok {
+					e.count++
+					if e.count == 1 {
+						flips = append(flips, e.tok)
+					}
+				}
+			})
+		}
+	} else {
+		if line.removeRight(n.ID, key, t.W) {
+			line.eachLeft(n.ID, key, func(e *LEntry) {
+				ok, c := n.testPair(e.tok, t.W)
+				comparisons += c
+				if ok {
+					e.count--
+					if e.count == 0 {
+						flips = append(flips, e.tok)
+					}
+				}
+			})
+		}
+	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	cost += CostMemInsert + int64(comparisons)*CostCompare
+	// A new blocking wme retracts previously passing tokens; a removed
+	// blocker re-admits them.
+	flipOp := wme.Remove
+	if t.Op == wme.Remove {
+		flipOp = wme.Add
+	}
+	for _, tok := range flips {
+		emit(n, tok, flipOp)
+	}
+	return cost
+}
+
+func (nw *Network) execNCC(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+	n := t.Node
+	key := t.Tok.Hash()
+	line := nw.Mem.line(n.ID, key)
+	pass := false
+	comparisons := 0
+	line.Lock.Lock()
+	if t.Op == wme.Add {
+		var count int32
+		line.eachRight(n.ID, key, func(e *REntry) {
+			comparisons++
+			if e.owner.Equal(t.Tok) {
+				count++
+			}
+		})
+		_, annihilated := line.addLeft(n.ID, key, t.Tok, count)
+		pass = !annihilated && count == 0
+	} else {
+		e, found := line.removeLeft(n.ID, key, t.Tok)
+		pass = found && e.count == 0
+	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	if pass {
+		emit(n, t.Tok, t.Op)
+	}
+	return CostMemInsert + int64(comparisons)*CostCompare
+}
+
+func (nw *Network) execPartner(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+	n := t.Node
+	ncc := n.Partner
+	owner := ancestorAt(t.Tok, int16(n.BranchN))
+	key := owner.Hash()
+	line := nw.Mem.line(ncc.ID, key)
+	var flip *Token
+	line.Lock.Lock()
+	if t.Op == wme.Add {
+		if !line.addSubResult(ncc.ID, key, owner, t.Tok) {
+			if e := line.findLeft(ncc.ID, key, owner); e != nil {
+				e.count++
+				if e.count == 1 {
+					flip = owner
+				}
+			}
+		}
+	} else {
+		if line.removeSubResult(ncc.ID, key, owner, t.Tok) {
+			if e := line.findLeft(ncc.ID, key, owner); e != nil {
+				e.count--
+				if e.count == 0 {
+					flip = owner
+				}
+			}
+		}
+	}
+	line.Lock.Unlock()
+	if flip != nil {
+		flipOp := wme.Remove
+		if t.Op == wme.Remove {
+			flipOp = wme.Add
+		}
+		emit(ncc, flip, flipOp)
+	}
+	return CostMemInsert
+}
+
+func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+	n := t.Node
+	ctxN := int16(n.BranchN)
+	var cost int64
+	comparisons := 0
+	if t.Dir == DirLeft {
+		ctx := ctxOf(t.Tok, ctxN)
+		key := ctx.Hash() ^ n.bbLeftKey(t.Tok)
+		line := nw.Mem.line(n.ID, key)
+		var matches []*Token
+		line.Lock.Lock()
+		proceed := true
+		if t.Op == wme.Add {
+			_, annihilated := line.addLeft(n.ID, key, t.Tok, 0)
+			proceed = !annihilated
+		} else {
+			_, found := line.removeLeft(n.ID, key, t.Tok)
+			proceed = found
+		}
+		if proceed {
+			line.eachRight(n.ID, key, func(e *REntry) {
+				comparisons++
+				if !e.owner.Equal(ctx) {
+					return
+				}
+				ok, c := n.testBBPair(t.Tok, e.sub)
+				comparisons += c
+				if ok {
+					matches = append(matches, e.sub)
+				}
+			})
+		}
+		line.Lock.Unlock()
+		nw.Stats.Comparisons.Add(int64(comparisons))
+		cost += CostMemInsert + int64(comparisons)*CostCompare
+		for _, r := range matches {
+			emit(n, Pair(t.Tok, r), t.Op)
+		}
+		return cost
+	}
+	// Right activation: a token from the group sub-chain.
+	ctx := ancestorAt(t.Tok, ctxN)
+	stripped := stripAbove(t.Tok, ctxN)
+	key := ctx.Hash() ^ n.bbRightKey(t.Tok)
+	line := nw.Mem.line(n.ID, key)
+	var matches []*Token
+	line.Lock.Lock()
+	proceed := true
+	if t.Op == wme.Add {
+		proceed = !line.addSubResult(n.ID, key, ctx, stripped)
+	} else {
+		proceed = line.removeSubResult(n.ID, key, ctx, stripped)
+	}
+	if proceed {
+		line.eachLeft(n.ID, key, func(e *LEntry) {
+			comparisons++
+			if !ctxOf(e.tok, ctxN).Equal(ctx) {
+				return
+			}
+			ok, c := n.testBBPair(e.tok, stripped)
+			comparisons += c
+			if ok {
+				matches = append(matches, e.tok)
+			}
+		})
+	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	cost += CostMemInsert + int64(comparisons)*CostCompare
+	for _, l := range matches {
+		emit(n, Pair(l, stripped), t.Op)
+	}
+	return cost
+}
+
+func (nw *Network) execP(t *Task) int64 {
+	n := t.Node
+	key := t.Tok.Hash()
+	line := nw.Mem.line(n.ID, key)
+	line.Lock.Lock()
+	act := false
+	if t.Op == wme.Add {
+		_, annihilated := line.addLeft(n.ID, key, t.Tok, 0)
+		act = !annihilated
+	} else {
+		_, found := line.removeLeft(n.ID, key, t.Tok)
+		act = found
+	}
+	line.Lock.Unlock()
+	if act && nw.CS != nil {
+		if t.Op == wme.Add {
+			nw.CS.Insert(n.Prod, t.Tok)
+		} else {
+			nw.CS.Retract(n.Prod, t.Tok)
+		}
+	}
+	return CostPNode
+}
+
+// ancestorAt returns the ancestor of t holding exactly n wmes, descending
+// left sides of pair tokens (the context lives leftmost).
+func ancestorAt(t *Token, n int16) *Token {
+	for t != nil && t.N > n {
+		if t.L != nil {
+			t = t.L
+		} else {
+			t = t.Parent
+		}
+	}
+	return t
+}
+
+// ctxOf returns the context ancestor of a (possibly pair) token.
+func ctxOf(t *Token, n int16) *Token {
+	for t.L != nil {
+		t = t.L
+	}
+	return ancestorAt(t, n)
+}
+
+// stripAbove rebuilds the linear extension of t above its ancestor with n
+// wmes, re-rooted on the dummy top (bilinear right inputs are stored and
+// paired without their shared context).
+func stripAbove(t *Token, n int16) *Token {
+	if t.N <= n {
+		return DummyTop
+	}
+	return Extend(stripAbove(t.Parent, n), int(t.CE), t.W)
+}

@@ -1,0 +1,47 @@
+package rete
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatNetwork(t *testing.T) {
+	e := newTestEnv(t, `
+(literalize a x y)
+(literalize b x)
+(p p1 (a ^x <v> ^y blue) (b ^x <v>) --> (make o1))
+(p p2 (a ^x <v> ^y blue) -(b ^x <v>) --> (make o2))
+(p p3 (a ^x <v>) -{ (b ^x <v>) (a ^y <v>) } --> (make o3))
+`)
+	out := e.nw.FormatNetwork()
+	for _, want := range []string{
+		"Root",
+		"and#",
+		"not#",
+		"ncc#",
+		"partner#",
+		"P p1",
+		"P p2",
+		"P p3",
+		"[shared x2]", // p1/p2 share the first join
+		"f1 = blue",   // alpha path rendered
+		"tests[r.f0 = ce0.f0]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("network dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatNetworkSharedAnnotation(t *testing.T) {
+	e := newTestEnv(t, `
+(literalize a x)
+(p p1 (a ^x 1) --> (make o))
+(p p2 (a ^x 1) --> (make o2))
+`)
+	out := e.nw.FormatNetwork()
+	// The single shared join prints once; the second reference notes it.
+	if strings.Count(out, "and#") != 1 {
+		t.Fatalf("shared join printed more than once:\n%s", out)
+	}
+}

@@ -1,0 +1,357 @@
+package rete
+
+import (
+	"soarpsme/internal/spin"
+	"soarpsme/internal/wme"
+)
+
+// Mem is the pair of global token hash tables of PSM-E (§6.1): one table
+// for all left memories, one for all right memories, physically fused so
+// that a "line" is the pair of corresponding left/right buckets guarded by
+// a single counted spin lock.
+//
+// Entries are keyed by (destination two-input node ID, hash of the
+// variable bindings tested for equality at that node) — the paper's hash
+// function — so one line holds exactly the candidates a join activation
+// must examine, and the insert-then-scan discipline under the line lock
+// guarantees each left/right pairing is discovered exactly once no matter
+// how activations interleave.
+//
+// Deletes that arrive before their corresponding adds (the conjugate-pair
+// problem of parallel Rete) leave a tombstone that annihilates the add.
+type Mem struct {
+	lines []Line
+	mask  uint64
+}
+
+// Line is one lockable left/right bucket pair.
+type Line struct {
+	Lock  spin.Lock
+	left  *LEntry
+	right *REntry
+	// leftAccesses counts left-token accesses this cycle (Figure 6-2).
+	leftAccesses  uint32
+	rightAccesses uint32
+}
+
+// LEntry is a left-memory entry: a token stored at a two-input node. count
+// is used by not/NCC nodes (number of blocking right matches). tomb marks
+// a pending delete awaiting its add.
+type LEntry struct {
+	node  NodeID
+	key   uint64
+	tok   *Token
+	count int32
+	tomb  bool
+	next  *LEntry
+}
+
+// Token returns the stored token.
+func (e *LEntry) Token() *Token { return e.tok }
+
+// Count returns the not/NCC blocking-match count.
+func (e *LEntry) Count() int32 { return e.count }
+
+// REntry is a right-memory entry: a wme (join/not right input) or an NCC
+// subnetwork result (owner + sub token).
+type REntry struct {
+	node  NodeID
+	key   uint64
+	w     *wme.WME
+	owner *Token // NCC partner results
+	sub   *Token
+	tomb  bool
+	next  *REntry
+}
+
+// NewMem allocates a table with the given number of lines (rounded up to a
+// power of two; minimum 16).
+func NewMem(lines int) *Mem {
+	n := 16
+	for n < lines {
+		n <<= 1
+	}
+	return &Mem{lines: make([]Line, n), mask: uint64(n - 1)}
+}
+
+// NumLines returns the number of lines.
+func (m *Mem) NumLines() int { return len(m.lines) }
+
+// line returns the line for (node, key). The node ID participates in line
+// selection, per the paper's hash function.
+func (m *Mem) line(node NodeID, key uint64) *Line {
+	h := key ^ (uint64(node) * 0x9e3779b97f4a7c15)
+	h ^= h >> 33
+	return &m.lines[h&m.mask]
+}
+
+// ---- left-entry operations (caller holds the line lock) ----
+
+// addLeft inserts tok into node's left memory on l. If a matching tombstone
+// is present the add is annihilated: nothing is inserted and annihilated is
+// true (the caller must not emit pairings).
+func (l *Line) addLeft(node NodeID, key uint64, tok *Token, count int32) (entry *LEntry, annihilated bool) {
+	l.leftAccesses++
+	var prev *LEntry
+	for e := l.left; e != nil; e = e.next {
+		if e.tomb && e.node == node && e.key == key && e.tok.Equal(tok) {
+			if prev == nil {
+				l.left = e.next
+			} else {
+				prev.next = e.next
+			}
+			return nil, true
+		}
+		prev = e
+	}
+	e := &LEntry{node: node, key: key, tok: tok, count: count, next: l.left}
+	l.left = e
+	return e, false
+}
+
+// removeLeft removes tok from node's left memory on l, returning the
+// removed entry. When absent, a tombstone is inserted and found is false.
+func (l *Line) removeLeft(node NodeID, key uint64, tok *Token) (removed *LEntry, found bool) {
+	l.leftAccesses++
+	var prev *LEntry
+	for e := l.left; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key && e.tok.Equal(tok) {
+			if prev == nil {
+				l.left = e.next
+			} else {
+				prev.next = e.next
+			}
+			return e, true
+		}
+		prev = e
+	}
+	l.left = &LEntry{node: node, key: key, tok: tok, tomb: true, next: l.left}
+	return nil, false
+}
+
+// findLeft returns the live entry for tok at node, if present.
+func (l *Line) findLeft(node NodeID, key uint64, tok *Token) *LEntry {
+	for e := l.left; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key && e.tok.Equal(tok) {
+			return e
+		}
+	}
+	return nil
+}
+
+// eachLeft calls fn for every live left entry of node with the given key.
+func (l *Line) eachLeft(node NodeID, key uint64, fn func(*LEntry)) {
+	l.leftAccesses++
+	for e := l.left; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key {
+			fn(e)
+		}
+	}
+}
+
+// ---- right-entry operations (caller holds the line lock) ----
+
+// addRight inserts a wme right entry, honouring tombstones.
+func (l *Line) addRight(node NodeID, key uint64, w *wme.WME) (annihilated bool) {
+	l.rightAccesses++
+	var prev *REntry
+	for e := l.right; e != nil; e = e.next {
+		if e.tomb && e.node == node && e.key == key && e.w == w {
+			if prev == nil {
+				l.right = e.next
+			} else {
+				prev.next = e.next
+			}
+			return true
+		}
+		prev = e
+	}
+	l.right = &REntry{node: node, key: key, w: w, next: l.right}
+	return false
+}
+
+// removeRight removes a wme right entry or leaves a tombstone.
+func (l *Line) removeRight(node NodeID, key uint64, w *wme.WME) (found bool) {
+	l.rightAccesses++
+	var prev *REntry
+	for e := l.right; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key && e.w == w {
+			if prev == nil {
+				l.right = e.next
+			} else {
+				prev.next = e.next
+			}
+			return true
+		}
+		prev = e
+	}
+	l.right = &REntry{node: node, key: key, w: w, tomb: true, next: l.right}
+	return false
+}
+
+// addSubResult inserts a token-pair right entry — an NCC partner result or
+// a bilinear join's right-side token — honouring tombstones.
+func (l *Line) addSubResult(node NodeID, key uint64, owner, sub *Token) (annihilated bool) {
+	l.rightAccesses++
+	var prev *REntry
+	for e := l.right; e != nil; e = e.next {
+		if e.tomb && e.node == node && e.key == key && e.sub.Equal(sub) && e.owner.Equal(owner) {
+			if prev == nil {
+				l.right = e.next
+			} else {
+				prev.next = e.next
+			}
+			return true
+		}
+		prev = e
+	}
+	l.right = &REntry{node: node, key: key, owner: owner, sub: sub, next: l.right}
+	return false
+}
+
+// removeSubResult removes a token-pair right entry or leaves a tombstone.
+func (l *Line) removeSubResult(node NodeID, key uint64, owner, sub *Token) (found bool) {
+	l.rightAccesses++
+	var prev *REntry
+	for e := l.right; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key && e.sub != nil && e.sub.Equal(sub) && e.owner.Equal(owner) {
+			if prev == nil {
+				l.right = e.next
+			} else {
+				prev.next = e.next
+			}
+			return true
+		}
+		prev = e
+	}
+	l.right = &REntry{node: node, key: key, owner: owner, sub: sub, tomb: true, next: l.right}
+	return false
+}
+
+// eachRight calls fn for every live right entry of node with the given key.
+func (l *Line) eachRight(node NodeID, key uint64, fn func(*REntry)) {
+	l.rightAccesses++
+	for e := l.right; e != nil; e = e.next {
+		if !e.tomb && e.node == node && e.key == key {
+			fn(e)
+		}
+	}
+}
+
+// countRight counts live right entries of node with the given key.
+func (l *Line) countRight(node NodeID, key uint64) int32 {
+	var n int32
+	l.eachRight(node, key, func(*REntry) { n++ })
+	return n
+}
+
+// ---- whole-table operations (no activation in flight) ----
+
+// DumpLeft returns every live token stored at node (the run-time update
+// algorithm replays the outputs of the last shared node this way).
+func (m *Mem) DumpLeft(node NodeID) []*Token {
+	var out []*Token
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		for e := l.left; e != nil; e = e.next {
+			if !e.tomb && e.node == node {
+				out = append(out, e.tok)
+			}
+		}
+		l.Lock.Unlock()
+	}
+	return out
+}
+
+// DumpRightSubs returns every live sub-result token stored under node
+// (NCC partner inputs / bilinear right-side tokens).
+func (m *Mem) DumpRightSubs(node NodeID) []*Token {
+	var out []*Token
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		for e := l.right; e != nil; e = e.next {
+			if !e.tomb && e.node == node && e.sub != nil {
+				out = append(out, e.sub)
+			}
+		}
+		l.Lock.Unlock()
+	}
+	return out
+}
+
+// Tombstones counts outstanding tombstones; at quiescence it must be zero
+// (a nonzero count indicates a lost conjugate pair).
+func (m *Mem) Tombstones() int {
+	n := 0
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		for e := l.left; e != nil; e = e.next {
+			if e.tomb {
+				n++
+			}
+		}
+		for e := l.right; e != nil; e = e.next {
+			if e.tomb {
+				n++
+			}
+		}
+		l.Lock.Unlock()
+	}
+	return n
+}
+
+// Entries returns the live (left, right) entry counts.
+func (m *Mem) Entries() (left, right int) {
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		for e := l.left; e != nil; e = e.next {
+			if !e.tomb {
+				left++
+			}
+		}
+		for e := l.right; e != nil; e = e.next {
+			if !e.tomb {
+				right++
+			}
+		}
+		l.Lock.Unlock()
+	}
+	return
+}
+
+// HarvestAccessCounts returns this cycle's per-line left-token access
+// counts (nonzero only) and resets them. The distribution over cycles is
+// Figure 6-2's bucket-contention measure.
+func (m *Mem) HarvestAccessCounts() []int {
+	var out []int
+	for i := range m.lines {
+		l := &m.lines[i]
+		if l.leftAccesses > 0 {
+			out = append(out, int(l.leftAccesses))
+		}
+		l.leftAccesses = 0
+		l.rightAccesses = 0
+	}
+	return out
+}
+
+// LockStats sums (spins, acquires) over all line locks.
+func (m *Mem) LockStats() (spins, acquires uint64) {
+	for i := range m.lines {
+		s, a := m.lines[i].Lock.Stats()
+		spins += s
+		acquires += a
+	}
+	return
+}
+
+// ResetLockStats zeroes all line-lock contention counters.
+func (m *Mem) ResetLockStats() {
+	for i := range m.lines {
+		m.lines[i].Lock.ResetStats()
+	}
+}

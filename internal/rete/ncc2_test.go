@@ -1,0 +1,126 @@
+package rete
+
+import (
+	"fmt"
+	"testing"
+
+	"soarpsme/internal/wme"
+)
+
+func TestDoubleNCCHanoiPattern(t *testing.T) {
+	e := newTestEnv(t, `
+(literalize on state disk peg)
+(literalize smaller a b)
+(literalize peg id)
+(p move
+  (on ^state s0 ^disk <d> ^peg <p>)
+  -{ (smaller ^a <d2> ^b <d>)
+     (on ^state s0 ^disk <d2> ^peg <p>) }
+  (peg ^id { <> <p> <q> })
+  -{ (smaller ^a <d3> ^b <d>)
+     (on ^state s0 ^disk <d3> ^peg <q>) }
+  -->
+  (make out))
+`)
+	sm := e.wmeOf("smaller", "a", "d1", "b", "d2")
+	p1 := e.wmeOf("peg", "id", "p1")
+	p2 := e.wmeOf("peg", "id", "p2")
+	p3 := e.wmeOf("peg", "id", "p3")
+	onD1 := e.wmeOf("on", "state", "s0", "disk", "d1", "peg", "p2")
+	onD2 := e.wmeOf("on", "state", "s0", "disk", "d2", "peg", "p1")
+	for _, w := range []*wme.WME{sm, p1, p2, p3, onD1, onD2} {
+		e.add(w)
+	}
+	// d1@p2 can go to p1 or p3; d2@p1 can go only to p3 (p2 holds d1).
+	e.wantCS(
+		fmt.Sprintf("move[%d %d]", onD1.ID, p1.ID),
+		fmt.Sprintf("move[%d %d]", onD1.ID, p3.ID),
+		fmt.Sprintf("move[%d %d]", onD2.ID, p3.ID),
+	)
+}
+
+func TestDoubleNCCIncrementalContext(t *testing.T) {
+	e := newTestEnv(t, `
+(literalize context goal-id slot value)
+(literalize on state disk peg)
+(literalize smaller a b)
+(literalize peg id)
+(p move
+  (context ^goal-id <g> ^slot problem-space ^value hanoi)
+  (context ^goal-id <g> ^slot state ^value <s>)
+  (on ^state <s> ^disk <d> ^peg <p>)
+  -{ (smaller ^a <d2> ^b <d>)
+     (on ^state <s> ^disk <d2> ^peg <p>) }
+  (peg ^id { <> <p> <q> })
+  -{ (smaller ^a <d3> ^b <d>)
+     (on ^state <s> ^disk <d3> ^peg <q>) }
+  -->
+  (make out))
+`)
+	// Statics and state wmes arrive BEFORE the context points at the state
+	// (the agent applies the operator in one cycle and installs the state
+	// in the next).
+	sm := e.wmeOf("smaller", "a", "d1", "b", "d2")
+	p1 := e.wmeOf("peg", "id", "p1")
+	p2 := e.wmeOf("peg", "id", "p2")
+	p3 := e.wmeOf("peg", "id", "p3")
+	onD1 := e.wmeOf("on", "state", "g5", "disk", "d1", "peg", "p2")
+	onD2 := e.wmeOf("on", "state", "g5", "disk", "d2", "peg", "p1")
+	ctxPS := e.wmeOf("context", "goal-id", "g*1", "slot", "problem-space", "value", "hanoi")
+	for _, w := range []*wme.WME{sm, p1, p2, p3, onD1, onD2, ctxPS} {
+		e.add(w)
+	}
+	e.wantCS()
+	ctxS := e.wmeOf("context", "goal-id", "g*1", "slot", "state", "value", "g5")
+	e.add(ctxS)
+	e.wantCS(
+		fmt.Sprintf("move[%d %d %d %d]", ctxPS.ID, ctxS.ID, onD1.ID, p1.ID),
+		fmt.Sprintf("move[%d %d %d %d]", ctxPS.ID, ctxS.ID, onD1.ID, p3.ID),
+		fmt.Sprintf("move[%d %d %d %d]", ctxPS.ID, ctxS.ID, onD2.ID, p3.ID),
+	)
+}
+
+func TestDoubleNCCSingleBatch(t *testing.T) {
+	// All wmes injected in ONE match cycle (the agent's startup batch):
+	// every root task is queued before any is executed.
+	e := newTestEnv(t, `
+(literalize context goal-id slot value)
+(literalize on state disk peg)
+(literalize smaller a b)
+(literalize peg id)
+(p move
+  (context ^goal-id <g> ^slot problem-space ^value hanoi)
+  (context ^goal-id <g> ^slot state ^value <s>)
+  (on ^state <s> ^disk <d> ^peg <p>)
+  -{ (smaller ^a <d2> ^b <d>)
+     (on ^state <s> ^disk <d2> ^peg <p>) }
+  (peg ^id { <> <p> <q> })
+  -{ (smaller ^a <d3> ^b <d>)
+     (on ^state <s> ^disk <d3> ^peg <q>) }
+  -->
+  (make out))
+`)
+	ws := []*wme.WME{
+		e.wmeOf("peg", "id", "p1"),
+		e.wmeOf("peg", "id", "p2"),
+		e.wmeOf("peg", "id", "p3"),
+		e.wmeOf("smaller", "a", "d1", "b", "d2"),
+		e.wmeOf("on", "state", "s0", "disk", "d1", "peg", "p1"),
+		e.wmeOf("on", "state", "s0", "disk", "d2", "peg", "p1"),
+		e.wmeOf("context", "goal-id", "g*1", "slot", "problem-space", "value", "hanoi"),
+		e.wmeOf("context", "goal-id", "g*1", "slot", "state", "value", "s0"),
+	}
+	// Queue every root activation before draining (one cycle).
+	for _, w := range ws {
+		e.mem.Insert(w)
+		e.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *BetaNode, ww *wme.WME, op wme.Op) {
+			e.s.Push(&Task{Node: n, Dir: DirRight, Op: op, W: ww})
+		})
+	}
+	drain(e.nw, e.s)
+	// d1 (top of p1) may move to p2 or p3; d2 is buried.
+	e.wantCS(
+		fmt.Sprintf("move[%d %d %d %d]", ws[6].ID, ws[7].ID, ws[4].ID, ws[1].ID),
+		fmt.Sprintf("move[%d %d %d %d]", ws[6].ID, ws[7].ID, ws[4].ID, ws[2].ID),
+	)
+}

@@ -1,0 +1,271 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// Organization selects the beta-network shape (paper §6.2).
+type Organization uint8
+
+// Linear is OPS5's left-to-right join chain; Bilinear is the constrained
+// bilinear organization of Figure 6-8, which shortens dependent activation
+// chains by matching groups of CEs in parallel sub-chains constrained by a
+// shared context prefix and pair-joining the group results.
+const (
+	Linear Organization = iota
+	Bilinear
+)
+
+// Options configure network construction.
+type Options struct {
+	// ShareBeta enables two-input-node sharing (the paper measures a
+	// 20-30% loss without it; Table 5-2 uses this toggle).
+	ShareBeta bool
+	// HashLines is the number of lines in the global token tables.
+	HashLines int
+	// Organization selects Linear or Bilinear network shape.
+	Organization Organization
+	// ContextCEs is the length of the shared context prefix for Bilinear.
+	ContextCEs int
+	// GroupCEs is the sub-chain group size for Bilinear.
+	GroupCEs int
+	// LinearMemories disables hashing: a node's tokens all share one
+	// bucket and every join scans the node's whole opposite memory — the
+	// §6.1 "linear lists" baseline ablation.
+	LinearMemories bool
+}
+
+// DefaultOptions returns the production configuration: shared network,
+// hashed memories, linear organization.
+func DefaultOptions() Options {
+	return Options{ShareBeta: true, HashLines: 1024, ContextCEs: 2, GroupCEs: 4}
+}
+
+// ConflictListener receives instantiation insertions and retractions from
+// P nodes. Implementations must be safe for concurrent use.
+type ConflictListener interface {
+	Insert(p *Production, t *Token)
+	Retract(p *Production, t *Token)
+}
+
+// NetStats aggregates match-work counters across all workers.
+type NetStats struct {
+	ConstTests    atomic.Int64 // alpha-network test executions
+	Activations   atomic.Int64 // beta tasks executed
+	Comparisons   atomic.Int64 // join-test evaluations
+	TokensEmitted atomic.Int64
+	NullActs      atomic.Int64 // activations that produced nothing
+}
+
+// Network is a compiled Rete network plus its global token memories.
+// Construction and production addition are serialized (Soar adds chunks
+// only at quiescence); task execution is fully parallel.
+type Network struct {
+	Tab  *value.Table
+	Reg  *wme.Registry
+	Mem  *Mem
+	Opts Options
+	CS   ConflictListener
+
+	Stats NetStats
+
+	mu        sync.Mutex // guards construction state below
+	nextID    NodeID
+	roots     map[value.Sym]*AlphaNode // class -> test tree root
+	alphaMems map[string]*AlphaMem     // canonical path key -> memory
+	prods     map[string]*Production
+	prodOrder []*Production
+	topNodes  []*BetaNode // first-CE nodes (dummy-top children)
+
+	nTwoInput int // join/not/ncc/bb node count (statistics)
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(tab *value.Table, reg *wme.Registry, cs ConflictListener, opts Options) *Network {
+	if opts.HashLines <= 0 {
+		opts.HashLines = 1024
+	}
+	return &Network{
+		Tab:       tab,
+		Reg:       reg,
+		Mem:       NewMem(opts.HashLines),
+		Opts:      opts,
+		CS:        cs,
+		roots:     make(map[value.Sym]*AlphaNode),
+		alphaMems: make(map[string]*AlphaMem),
+		prods:     make(map[string]*Production),
+	}
+}
+
+// newID hands out the next monotone node ID (callers hold nw.mu).
+func (nw *Network) newID() NodeID {
+	nw.nextID++
+	return nw.nextID
+}
+
+// MaxNodeID returns the largest node ID assigned so far.
+func (nw *Network) MaxNodeID() NodeID {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nextID
+}
+
+// TwoInputNodes returns the number of two-input nodes in the network.
+func (nw *Network) TwoInputNodes() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nTwoInput
+}
+
+// Productions returns the compiled productions in definition order.
+func (nw *Network) Productions() []*Production {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return append([]*Production(nil), nw.prodOrder...)
+}
+
+// Lookup returns a compiled production by name.
+func (nw *Network) Lookup(name string) *Production {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.prods[name]
+}
+
+// ---- alpha network ----
+
+// alphaKey builds the canonical sharing key for a test path.
+func alphaKey(class value.Sym, tests []AlphaTest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d", class)
+	for _, t := range tests {
+		if t.Disj != nil {
+			fmt.Fprintf(&b, "|f%d in", t.Field)
+			for _, d := range t.Disj {
+				fmt.Fprintf(&b, " %v", d)
+			}
+			continue
+		}
+		if t.VsField {
+			fmt.Fprintf(&b, "|f%d %v f%d", t.Field, t.Pred, t.Other)
+			continue
+		}
+		fmt.Fprintf(&b, "|f%d %v %v", t.Field, t.Pred, t.Val)
+	}
+	return b.String()
+}
+
+// sortAlphaTests puts tests in canonical order to maximize path sharing.
+func sortAlphaTests(tests []AlphaTest) {
+	sort.SliceStable(tests, func(i, j int) bool {
+		a, b := tests[i], tests[j]
+		if a.Field != b.Field {
+			return a.Field < b.Field
+		}
+		if a.VsField != b.VsField {
+			return !a.VsField
+		}
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		return false
+	})
+}
+
+// buildAlpha returns (creating as needed) the alpha memory for a class and
+// test sequence. Constant-test nodes are shared by path prefix; memories by
+// full path (callers hold nw.mu).
+func (nw *Network) buildAlpha(class value.Sym, tests []AlphaTest) *AlphaMem {
+	sortAlphaTests(tests)
+	key := alphaKey(class, tests)
+	if am, ok := nw.alphaMems[key]; ok {
+		return am
+	}
+	root := nw.roots[class]
+	if root == nil {
+		root = &AlphaNode{ID: nw.newID()}
+		nw.roots[class] = root
+	}
+	cur := root
+	for _, t := range tests {
+		var next *AlphaNode
+		for _, c := range cur.Children {
+			if c.Test.equalTest(t) {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			next = &AlphaNode{ID: nw.newID(), Test: t}
+			cur.Children = append(cur.Children, next)
+		}
+		cur = next
+	}
+	if cur.Mem == nil {
+		cur.Mem = &AlphaMem{ID: nw.newID(), key: key}
+	}
+	am := cur.Mem
+	nw.alphaMems[key] = am
+	return am
+}
+
+// InjectFn receives the right activations produced by an alpha-network
+// walk: one per (two-input node, wme) whose alpha path passed.
+type InjectFn func(n *BetaNode, w *wme.WME, op wme.Op)
+
+// Inject runs one wme change through the constant-test network, calling
+// emit for every destination two-input node. The alpha network is executed
+// inline (one-input nodes are cheap; the tasks PSM-E schedules are the
+// two-input activations — paper §2.2/§2.3).
+func (nw *Network) Inject(d wme.Delta, emit InjectFn) {
+	root := nw.roots[d.WME.Class]
+	if root == nil {
+		return
+	}
+	nw.walkAlpha(root, d, emit)
+}
+
+func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
+	if n.Mem != nil {
+		for _, succ := range n.Mem.Succs {
+			emit(succ, d.WME, d.Op)
+		}
+	}
+	for _, c := range n.Children {
+		nw.Stats.ConstTests.Add(1)
+		if c.Test.matches(d.WME.Field) {
+			nw.walkAlpha(c, d, emit)
+		}
+	}
+}
+
+// WalkBeta visits every beta node reachable from the top, once.
+func (nw *Network) WalkBeta(fn func(*BetaNode)) {
+	nw.mu.Lock()
+	tops := append([]*BetaNode(nil), nw.topNodes...)
+	nw.mu.Unlock()
+	seen := make(map[NodeID]bool)
+	var rec func(n *BetaNode)
+	rec = func(n *BetaNode) {
+		if n == nil || seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+		if n.Partner != nil && n.Kind == KindNCC {
+			rec(n.Partner)
+		}
+	}
+	for _, t := range tops {
+		rec(t)
+	}
+}

@@ -1,0 +1,302 @@
+package rete
+
+import (
+	"fmt"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/value"
+)
+
+// NodeID identifies a node. IDs are assigned monotonically as nodes are
+// created, which is what the run-time update algorithm relies on: a node
+// added after another always has a larger ID, and once a production loses
+// sharing all of its descendants are new, so "ID >= firstNewID" exactly
+// selects the nodes whose state must be built (paper §5.2).
+type NodeID uint32
+
+// AlphaTest is one test in the constant-test network: field PRED constant,
+// or field PRED otherField for intra-CE variable consistency.
+type AlphaTest struct {
+	Field   int
+	Pred    value.Pred
+	Val     value.Value
+	VsField bool // compare against OtherField instead of Val
+	Other   int
+	Disj    []value.Value // non-nil: membership test (<< ... >>)
+}
+
+// matches applies the test to a wme (by field extraction).
+func (t AlphaTest) matches(get func(int) value.Value) bool {
+	a := get(t.Field)
+	if t.Disj != nil {
+		for _, d := range t.Disj {
+			if a.Equal(d) {
+				return true
+			}
+		}
+		return false
+	}
+	b := t.Val
+	if t.VsField {
+		b = get(t.Other)
+	}
+	return t.Pred.Apply(a, b)
+}
+
+// equalTest reports structural equality, used for alpha-network sharing.
+func (t AlphaTest) equalTest(o AlphaTest) bool {
+	if t.Field != o.Field || t.Pred != o.Pred || t.VsField != o.VsField || t.Other != o.Other {
+		return false
+	}
+	if (t.Disj == nil) != (o.Disj == nil) {
+		return false
+	}
+	if t.Disj != nil {
+		if len(t.Disj) != len(o.Disj) {
+			return false
+		}
+		for i := range t.Disj {
+			if t.Disj[i] != o.Disj[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return t.Val == o.Val
+}
+
+// AlphaNode is one constant-test node. The alpha network is a tree per wme
+// class; each node may have further test children and/or a terminal memory.
+type AlphaNode struct {
+	ID       NodeID
+	Test     AlphaTest
+	Children []*AlphaNode
+	Mem      *AlphaMem
+}
+
+// AlphaMem is the terminus of an alpha path. It does not store wmes itself:
+// per the PSM-E hashed-memory design, right state lives in the global right
+// hash table keyed by destination two-input node. The memory's job is to
+// fan a passing wme out to its destination join/not nodes as right
+// activations.
+type AlphaMem struct {
+	ID    NodeID
+	Succs []*BetaNode // two-input nodes taking right input here
+	key   string      // canonical test-path key (for sharing)
+}
+
+// BetaKind discriminates the beta-network node types.
+type BetaKind uint8
+
+// The beta node kinds. KindJoin is the paper's "and" node, KindNot its
+// "not" node; KindNCC/KindNCCPartner implement Soar conjunctive negations;
+// KindJoinBB is the beta×beta join used by bilinear networks; KindP is a
+// production node.
+const (
+	KindJoin BetaKind = iota
+	KindNot
+	KindNCC
+	KindNCCPartner
+	KindJoinBB
+	KindP
+)
+
+func (k BetaKind) String() string {
+	switch k {
+	case KindJoin:
+		return "and"
+	case KindNot:
+		return "not"
+	case KindNCC:
+		return "ncc"
+	case KindNCCPartner:
+		return "ncc-partner"
+	case KindJoinBB:
+		return "and-bb"
+	case KindP:
+		return "p"
+	}
+	return "?"
+}
+
+// JoinTest compares a field of the right input against a wme already bound
+// in the left token. Eq tests double as the hash key (paper §6.1).
+type JoinTest struct {
+	RightField int
+	LeftCE     int // positive-CE index in the left token
+	LeftField  int
+	Pred       value.Pred
+}
+
+// BBTest compares bindings across the two beta inputs of a bilinear join.
+type BBTest struct {
+	LeftCE, LeftField   int
+	RightCE, RightField int
+	Pred                value.Pred
+}
+
+// BetaNode is a two-input node (join/not/NCC/bilinear) or a P node.
+type BetaNode struct {
+	ID     NodeID
+	Kind   BetaKind
+	Parent *BetaNode // left input; nil = dummy top
+	Alpha  *AlphaMem // right input (KindJoin, KindNot)
+
+	// RightCE is the positive-CE index contributed by this node's right
+	// input (KindJoin only; negations contribute no wme).
+	RightCE int
+
+	Tests   []JoinTest // join/not: equality+residual tests
+	BBTests []BBTest   // bilinear joins
+
+	// RightParent is the left input of the right side for KindJoinBB.
+	RightParent *BetaNode
+
+	Children []*BetaNode
+
+	// NCC wiring: an NCC node and its partner reference each other.
+	Partner *BetaNode
+
+	// BranchN is the wme count of main-line tokens at the branch point:
+	// for NCC nodes/partners the owner depth, for bilinear joins the
+	// shared-context depth.
+	BranchN int
+
+	// Prod is set for P nodes.
+	Prod *Production
+
+	// nEqTests counts the leading equality tests that form the hash key.
+	nEqTests int
+
+	// private marks nodes that must never be shared into by later
+	// productions (NCC sub-chains, bilinear structures); the state-dump of
+	// the update algorithm relies on shared parents having only
+	// left-storing children.
+	private bool
+
+	// shared marks nodes reachable from >1 production (statistics).
+	refs int
+}
+
+// Production is a compiled production: the AST plus the variable binding
+// map the RHS evaluator and chunker need, and its P node.
+type Production struct {
+	Name string
+	AST  *ops5.Production
+	// Bindings maps each LHS variable to the (positive-CE index, field)
+	// of its first bound (equality, positive-CE) occurrence.
+	Bindings map[value.Sym]Binding
+	NumCEs   int // positive CEs
+	PNode    *BetaNode
+	// ActionCE maps 0-based LHS positions to token CE tags (-1 for
+	// negated/NCC items); remove/modify actions index through it.
+	ActionCE []int
+	// ElemCE maps OPS5 element variables ({ <w> (ce) }) to token CE tags.
+	ElemCE map[value.Sym]int
+}
+
+// Binding locates a variable's binding site.
+type Binding struct {
+	CE    int
+	Field int
+}
+
+// String renders a short description of the node.
+func (n *BetaNode) String() string {
+	if n == nil {
+		return "<top>"
+	}
+	if n.Kind == KindP {
+		return fmt.Sprintf("p#%d(%s)", n.ID, n.Prod.Name)
+	}
+	return fmt.Sprintf("%s#%d", n.Kind, n.ID)
+}
+
+// leftKeyFromToken hashes the left-side join-variable bindings of t for
+// this node's hash key (the leading equality tests).
+func (n *BetaNode) leftKeyFromToken(t *Token) uint64 {
+	h := uint64(0x8f1b5c37a9e3d421)
+	for i := 0; i < n.nEqTests; i++ {
+		jt := n.Tests[i]
+		w := t.WMEAt(jt.LeftCE)
+		var v value.Value
+		if w != nil {
+			v = w.Field(jt.LeftField)
+		}
+		h = h*0x100000001b3 ^ v.Hash()
+	}
+	return h
+}
+
+// rightKeyFromWME hashes the right-side join-variable values of w.
+func (n *BetaNode) rightKeyFromWME(w interface{ Field(int) value.Value }) uint64 {
+	h := uint64(0x8f1b5c37a9e3d421)
+	for i := 0; i < n.nEqTests; i++ {
+		jt := n.Tests[i]
+		h = h*0x100000001b3 ^ w.Field(jt.RightField).Hash()
+	}
+	return h
+}
+
+// bbLeftKey / bbRightKey hash the shared-variable bindings for a bilinear
+// join's two beta inputs.
+func (n *BetaNode) bbLeftKey(t *Token) uint64 {
+	h := uint64(0x8f1b5c37a9e3d421)
+	for i := 0; i < n.nEqTests; i++ {
+		bt := n.BBTests[i]
+		var v value.Value
+		if w := t.WMEAt(bt.LeftCE); w != nil {
+			v = w.Field(bt.LeftField)
+		}
+		h = h*0x100000001b3 ^ v.Hash()
+	}
+	return h
+}
+
+func (n *BetaNode) bbRightKey(t *Token) uint64 {
+	h := uint64(0x8f1b5c37a9e3d421)
+	for i := 0; i < n.nEqTests; i++ {
+		bt := n.BBTests[i]
+		var v value.Value
+		if w := t.WMEAt(bt.RightCE); w != nil {
+			v = w.Field(bt.RightField)
+		}
+		h = h*0x100000001b3 ^ v.Hash()
+	}
+	return h
+}
+
+// testPair applies every join test to (left token, right wme), returning
+// the number of comparisons performed for cost accounting.
+func (n *BetaNode) testPair(t *Token, w interface{ Field(int) value.Value }) (ok bool, comparisons int) {
+	for _, jt := range n.Tests {
+		comparisons++
+		lw := t.WMEAt(jt.LeftCE)
+		var lv value.Value
+		if lw != nil {
+			lv = lw.Field(jt.LeftField)
+		}
+		if !jt.Pred.Apply(w.Field(jt.RightField), lv) {
+			return false, comparisons
+		}
+	}
+	return true, comparisons
+}
+
+// testBBPair applies bilinear tests to a pair of beta tokens.
+func (n *BetaNode) testBBPair(l, r *Token) (ok bool, comparisons int) {
+	for _, bt := range n.BBTests {
+		comparisons++
+		var lv, rv value.Value
+		if w := l.WMEAt(bt.LeftCE); w != nil {
+			lv = w.Field(bt.LeftField)
+		}
+		if w := r.WMEAt(bt.RightCE); w != nil {
+			rv = w.Field(bt.RightField)
+		}
+		if !bt.Pred.Apply(rv, lv) {
+			return false, comparisons
+		}
+	}
+	return true, comparisons
+}

@@ -1,0 +1,225 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: histograms, summary accumulators, and plain-text table and
+// series rendering in the shape of the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values into fixed-width bins.
+type Histogram struct {
+	BinWidth int
+	counts   map[int]int
+	n        int
+}
+
+// NewHistogram creates a histogram with the given bin width.
+func NewHistogram(binWidth int) *Histogram {
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	return &Histogram{BinWidth: binWidth, counts: map[int]int{}}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v int) {
+	h.counts[v/h.BinWidth]++
+	h.n++
+}
+
+// N returns the number of recorded values.
+func (h *Histogram) N() int { return h.n }
+
+// Bin is one histogram bin: [Lo, Lo+width) with its percentage share.
+type Bin struct {
+	Lo      int
+	Count   int
+	Percent float64
+}
+
+// Bins returns the non-empty bins in ascending order.
+func (h *Histogram) Bins() []Bin {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bin, 0, len(keys))
+	for _, k := range keys {
+		c := h.counts[k]
+		out = append(out, Bin{Lo: k * h.BinWidth, Count: c, Percent: 100 * float64(c) / float64(h.n)})
+	}
+	return out
+}
+
+// PercentAtOrAbove returns the share of values >= v.
+func (h *Histogram) PercentAtOrAbove(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	c := 0
+	for bin, cnt := range h.counts {
+		if bin*h.BinWidth >= v {
+			c += cnt
+		}
+	}
+	return 100 * float64(c) / float64(h.n)
+}
+
+// PercentBelow returns the share of values < v.
+func (h *Histogram) PercentBelow(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return 100 - h.PercentAtOrAbove(v)
+}
+
+// Summary accumulates count/sum/min/max.
+type Summary struct {
+	N        int
+	Sum      float64
+	Min, Max float64
+}
+
+// Add records a value.
+func (s *Summary) Add(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.N++
+	s.Sum += v
+}
+
+// Mean returns the average (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Table renders rows of labelled columns as aligned plain text.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// Series is a labelled (x, y) sequence — one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series with axis labels.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries appends and returns a new series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as aligned columns (x, then one column per
+// series), merging the x-coordinates of all series.
+func (f *Figure) String() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	keys := make([]float64, 0, len(xs))
+	for x := range xs {
+		keys = append(keys, x)
+	}
+	sort.Float64s(keys)
+	t := &Table{Title: fmt.Sprintf("%s\n(y: %s)", f.Title, f.YLabel)}
+	t.Headers = append(t.Headers, f.XLabel)
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range keys {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

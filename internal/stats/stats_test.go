@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(100)
+	for _, v := range []int{5, 50, 150, 250, 1050, 1100} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	bins := h.Bins()
+	if len(bins) != 5 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0].Lo != 0 || bins[0].Count != 2 {
+		t.Fatalf("bin0 = %+v", bins[0])
+	}
+	if got := h.PercentAtOrAbove(1000); got < 33.2 || got > 33.4 {
+		t.Fatalf("PercentAtOrAbove(1000) = %f", got)
+	}
+	if got := h.PercentBelow(100); got < 33.2 || got > 33.4 {
+		t.Fatalf("PercentBelow(100) = %f", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0) // clamps to 1
+	if h.PercentAtOrAbove(10) != 0 || h.PercentBelow(10) != 0 {
+		t.Fatalf("empty histogram percents nonzero")
+	}
+	if len(h.Bins()) != 0 {
+		t.Fatalf("empty histogram has bins")
+	}
+}
+
+func TestHistogramPercentsSumProperty(t *testing.T) {
+	f := func(vals []uint16, cut uint16) bool {
+		h := NewHistogram(10)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		if h.N() == 0 {
+			return true
+		}
+		total := h.PercentAtOrAbove(int(cut)/10*10) + h.PercentBelow(int(cut)/10*10)
+		return total > 99.9 && total < 100.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean nonzero")
+	}
+	for _, v := range []float64{1, 2, 6} {
+		s.Add(v)
+	}
+	if s.N != 3 || s.Min != 1 || s.Max != 6 || s.Mean() != 3 {
+		t.Fatalf("summary wrong: %+v mean %f", s, s.Mean())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-cell", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-header") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "x", YLabel: "y"}
+	a := f.AddSeries("a")
+	a.Add(1, 2)
+	a.Add(2, 4.25)
+	b := f.AddSeries("b")
+	b.Add(2, 8)
+	out := f.String()
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "4.25") {
+		t.Fatalf("bad figure render:\n%s", out)
+	}
+	// Merged x axis: rows for x=1 and x=2.
+	if !strings.Contains(out, "\n1 ") && !strings.Contains(out, "\n1  ") {
+		t.Fatalf("missing x=1 row:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" || trimFloat(3.5) != "3.50" {
+		t.Fatalf("trimFloat wrong: %q %q", trimFloat(3), trimFloat(3.5))
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	f := &Figure{Title: "Speedups", XLabel: "procs", YLabel: "speedup"}
+	a := f.AddSeries("taskA")
+	b := f.AddSeries("taskB")
+	for p := 1; p <= 13; p++ {
+		a.Add(float64(p), float64(p)*0.6)
+		b.Add(float64(p), float64(p)*0.3)
+	}
+	out := f.Plot(40, 10)
+	for _, want := range []string{"Speedups", "* taskA", "o taskB", "(procs)", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot has no markers:\n%s", out)
+	}
+	// Empty figure does not crash.
+	empty := &Figure{Title: "E"}
+	if !strings.Contains(empty.Plot(20, 8), "no data") {
+		t.Fatalf("empty plot wrong")
+	}
+}

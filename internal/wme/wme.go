@@ -1,0 +1,283 @@
+// Package wme models OPS5 working memory: class schemas ("literalize"
+// declarations), working-memory elements (wmes) with recency time tags, and
+// the working memory itself.
+//
+// A wme is a record: a class plus a fixed vector of attribute values. The
+// attribute order for each class is fixed by its Schema, so condition
+// elements compile to field indices once and the matcher never touches
+// attribute names at run time (mirroring PSM-E's compiled representation).
+package wme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"soarpsme/internal/value"
+)
+
+// Schema fixes the attribute layout of one wme class.
+type Schema struct {
+	Class value.Sym
+	attrs []value.Sym
+	index map[value.Sym]int
+}
+
+// Attrs returns the ordered attribute list.
+func (s *Schema) Attrs() []value.Sym { return s.attrs }
+
+// Index returns the field index for attr, adding the attribute to the
+// schema when extend is true and it is not yet present. Added attributes
+// keep existing indices stable, so compiled networks remain valid.
+func (s *Schema) Index(attr value.Sym, extend bool) (int, bool) {
+	if i, ok := s.index[attr]; ok {
+		return i, true
+	}
+	if !extend {
+		return -1, false
+	}
+	i := len(s.attrs)
+	s.attrs = append(s.attrs, attr)
+	s.index[attr] = i
+	return i, true
+}
+
+// Width returns the number of declared attributes.
+func (s *Schema) Width() int { return len(s.attrs) }
+
+// Registry holds the schemas of every wme class. It is safe for concurrent
+// read access; schema extension (parsing, production addition) is locked.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[value.Sym]*Schema
+}
+
+// NewRegistry returns an empty schema registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[value.Sym]*Schema)}
+}
+
+// Declare registers (or extends) a class with the given attributes,
+// mirroring OPS5's literalize. It returns the class schema.
+func (r *Registry) Declare(class value.Sym, attrs ...value.Sym) *Schema {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.classes[class]
+	if s == nil {
+		s = &Schema{Class: class, index: make(map[value.Sym]int)}
+		r.classes[class] = s
+	}
+	for _, a := range attrs {
+		s.Index(a, true)
+	}
+	return s
+}
+
+// Get returns the schema for class, creating an empty one when extend is
+// true (Soar classes need no literalize; attributes appear on first use).
+func (r *Registry) Get(class value.Sym, extend bool) *Schema {
+	r.mu.RLock()
+	s := r.classes[class]
+	r.mu.RUnlock()
+	if s != nil || !extend {
+		return s
+	}
+	return r.Declare(class)
+}
+
+// FieldIndex resolves (class, attr) to a field index, extending the schema
+// when extend is true.
+func (r *Registry) FieldIndex(class, attr value.Sym, extend bool) (int, bool) {
+	s := r.Get(class, extend)
+	if s == nil {
+		return -1, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return s.Index(attr, extend)
+}
+
+// Classes returns all declared class symbols in ascending Sym order.
+func (r *Registry) Classes() []value.Sym {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]value.Sym, 0, len(r.classes))
+	for c := range r.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WME is a working-memory element. Fields is indexed by the class schema;
+// missing trailing attributes read as value.Nil.
+type WME struct {
+	ID      uint64 // unique identity, never reused
+	TimeTag uint64 // recency (OPS5 conflict resolution)
+	Class   value.Sym
+	Fields  []value.Value
+}
+
+// Field returns the value at index i (Nil when out of range).
+func (w *WME) Field(i int) value.Value {
+	if i < 0 || i >= len(w.Fields) {
+		return value.Nil
+	}
+	return w.Fields[i]
+}
+
+// EqualContents reports whether two wmes have the same class and fields
+// (ignoring identity and time tag). Used for Soar set semantics.
+func (w *WME) EqualContents(o *WME) bool {
+	if w.Class != o.Class {
+		return false
+	}
+	n := len(w.Fields)
+	if len(o.Fields) > n {
+		n = len(o.Fields)
+	}
+	for i := 0; i < n; i++ {
+		if !w.Field(i).Equal(o.Field(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// contentsKey returns a hash of class+fields for duplicate detection.
+func (w *WME) contentsKey() uint64 {
+	h := value.SymVal(w.Class).Hash()
+	for i, f := range w.Fields {
+		if f.IsNil() {
+			continue
+		}
+		h ^= f.Hash() * (uint64(i)*2 + 3)
+	}
+	return h
+}
+
+// Format renders the wme in OPS5 form using the symbol table and schema.
+func (w *WME) Format(tab *value.Table, reg *Registry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s", tab.Name(w.Class))
+	if s := reg.Get(w.Class, false); s != nil {
+		for i, a := range s.Attrs() {
+			v := w.Field(i)
+			if v.IsNil() {
+				continue
+			}
+			fmt.Fprintf(&b, " ^%s %s", tab.Name(a), tab.Format(v))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Memory is the working memory: the set of live wmes. All mutation goes
+// through Insert/Delete so time tags stay monotone. Memory is not itself
+// locked — the engine serializes WM changes (match starts only after all
+// wme changes of a cycle complete, per the paper §6).
+type Memory struct {
+	nextID  uint64
+	nextTag uint64
+	byID    map[uint64]*WME
+	// byKey indexes wmes by contents hash for Soar set semantics.
+	byKey map[uint64][]*WME
+}
+
+// NewMemory returns an empty working memory.
+func NewMemory() *Memory {
+	return &Memory{byID: make(map[uint64]*WME), byKey: make(map[uint64][]*WME)}
+}
+
+// Make builds a new wme (assigning ID and time tag) without inserting it.
+func (m *Memory) Make(class value.Sym, fields []value.Value) *WME {
+	m.nextID++
+	m.nextTag++
+	return &WME{ID: m.nextID, TimeTag: m.nextTag, Class: class, Fields: fields}
+}
+
+// Insert adds w to working memory. It panics if w is already present.
+func (m *Memory) Insert(w *WME) {
+	if _, dup := m.byID[w.ID]; dup {
+		panic(fmt.Sprintf("wme: duplicate insert of wme %d", w.ID))
+	}
+	m.byID[w.ID] = w
+	k := w.contentsKey()
+	m.byKey[k] = append(m.byKey[k], w)
+}
+
+// Delete removes w from working memory; it reports whether w was present.
+func (m *Memory) Delete(w *WME) bool {
+	if _, ok := m.byID[w.ID]; !ok {
+		return false
+	}
+	delete(m.byID, w.ID)
+	k := w.contentsKey()
+	list := m.byKey[k]
+	for i, x := range list {
+		if x == w {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.byKey, k)
+	} else {
+		m.byKey[k] = list
+	}
+	return true
+}
+
+// FindEqual returns a live wme with identical contents, if any. Soar uses
+// this for set semantics: productions only add wmes, and an add of an
+// already-present wme is a no-op (with support counting done by the caller).
+func (m *Memory) FindEqual(w *WME) *WME {
+	for _, x := range m.byKey[w.contentsKey()] {
+		if x.EqualContents(w) {
+			return x
+		}
+	}
+	return nil
+}
+
+// Get returns the wme with the given ID.
+func (m *Memory) Get(id uint64) *WME { return m.byID[id] }
+
+// Len returns the number of live wmes.
+func (m *Memory) Len() int { return len(m.byID) }
+
+// All returns the live wmes sorted by time tag (deterministic order; the
+// run-time update algorithm replays these through the network).
+func (m *Memory) All() []*WME {
+	out := make([]*WME, 0, len(m.byID))
+	for _, w := range m.byID {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeTag < out[j].TimeTag })
+	return out
+}
+
+// Op is the direction of a working-memory change.
+type Op uint8
+
+// Add inserts a wme; Remove deletes one.
+const (
+	Add Op = iota
+	Remove
+)
+
+func (o Op) String() string {
+	if o == Add {
+		return "add"
+	}
+	return "remove"
+}
+
+// Delta is one working-memory change, the unit handed to the matcher.
+type Delta struct {
+	Op  Op
+	WME *WME
+}
