@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-exp all|t51|t52|t61|f61|f62|...|extras] [-out file]
+//	            [-trace out.json] [-metrics out.txt] [-listen :6060]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"soarpsme/internal/exp"
+	"soarpsme/internal/obs"
 	"soarpsme/internal/stats"
 )
 
@@ -67,8 +69,17 @@ func main() {
 	which := flag.String("exp", "all", "experiment id (t51..f612, extras) or all")
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
+	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
+	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof while experiments run (e.g. :6060)")
 	flag.Parse()
 	plotFigures = *plot
+
+	observer, flush, err := obs.Setup(*traceOut, *metricsOut, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -82,6 +93,7 @@ func main() {
 	}
 
 	l := exp.NewLab()
+	l.SetObserver(observer)
 	matched := false
 	for _, r := range runners {
 		if *which != "all" && !strings.EqualFold(*which, r.id) {
@@ -96,5 +108,9 @@ func main() {
 	if !matched {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
 		os.Exit(2)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

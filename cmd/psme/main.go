@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	psme [-procs N] [-queues single|multi] [-noshare] [-stats] program.ops
+//	psme [-procs N] [-queues single|multi] [-noshare] [-stats]
+//	     [-trace out.json] [-metrics out.txt] [-listen :6060] program.ops
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	"soarpsme/internal/engine"
+	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 )
 
@@ -24,6 +26,9 @@ func main() {
 	maxCycles := flag.Int("cycles", 10000, "recognize-act cycle bound")
 	watch := flag.Int("watch", 0, "trace level: 1 = firings, 2 = +wme changes")
 	network := flag.Bool("network", false, "print the compiled Rete network and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
+	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psme [flags] program.ops")
@@ -31,6 +36,12 @@ func main() {
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psme:", err)
+		os.Exit(1)
+	}
+
+	observer, flush, err := obs.Setup(*traceOut, *metricsOut, *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psme:", err)
 		os.Exit(1)
@@ -46,6 +57,7 @@ func main() {
 	cfg.MaxCycles = *maxCycles
 	cfg.Watch = *watch
 	cfg.Output = os.Stdout
+	cfg.Obs = observer
 
 	e := engine.New(cfg)
 	if err := e.LoadProgram(string(src)); err != nil {
@@ -75,5 +87,9 @@ func main() {
 		fmt.Printf(";; hash-line lock: %d acquires, %d spins\n", acquires, spins)
 		qs, qa := e.RT.QueueLockStats()
 		fmt.Printf(";; task-queue lock: %d acquires, %d spins\n", qa, qs)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "psme:", err)
+		os.Exit(1)
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	soar [-task eight-puzzle|strips] [-procs N] [-chunking] [-after]
-//	     [-decisions N] [-trace] [-v]
+//	     [-decisions N] [-dtrace] [-trace out.json] [-metrics out.txt]
+//	     [-listen :6060]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"soarpsme/internal/engine"
+	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/soar"
 	"soarpsme/internal/tasks/blocks"
@@ -30,12 +32,16 @@ func main() {
 	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
 	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
 	decisions := flag.Int("decisions", 400, "decision-cycle bound")
-	trace := flag.Bool("trace", false, "print decision-level trace")
+	dtrace := flag.Bool("dtrace", false, "print decision-level trace")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
+	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	mkTask := func() *soar.Task {
-		switch *taskName {
-		case "eight-puzzle":
+		// Accept both "eight-puzzle" and "eightpuzzle" spellings.
+		switch strings.ReplaceAll(*taskName, "-", "") {
+		case "eightpuzzle":
 			return eightpuzzle.Default()
 		case "strips":
 			return strips.Default()
@@ -49,13 +55,20 @@ func main() {
 		return nil
 	}
 
+	observer, flush, err := obs.Setup(*traceOut, *metricsOut, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soar:", err)
+		os.Exit(1)
+	}
+
 	cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: *chunking, MaxDecisions: *decisions}
 	cfg.Engine.Processes = *procs
 	cfg.Engine.Policy = prun.MultiQueue
 	if *queues == "single" {
 		cfg.Engine.Policy = prun.SingleQueue
 	}
-	if *trace {
+	cfg.Engine.Obs = observer
+	if *dtrace {
 		cfg.Trace = os.Stderr
 	}
 
@@ -107,5 +120,9 @@ func main() {
 			os.Exit(2)
 		}
 		run(fmt.Sprintf("%s (after chunking)", *taskName), first)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "soar:", err)
+		os.Exit(1)
 	}
 }

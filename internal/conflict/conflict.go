@@ -238,7 +238,14 @@ func better(a, b *Instantiation, strat Strategy) bool {
 		return len(ta) > len(tb)
 	}
 	sa, sb := Specificity(a.Prod.AST), Specificity(b.Prod.AST)
-	return sa > sb
+	if sa != sb {
+		return sa > sb
+	}
+	// Full tie (same recency, same specificity): OPS5 allows an arbitrary
+	// pick, but an arbitrary pick must still be deterministic — Select
+	// iterates a map, so without this the winner would vary run to run.
+	// Later-compiled production wins (monotone P-node IDs).
+	return a.Prod.PNode.ID > b.Prod.PNode.ID
 }
 
 // Specificity counts the attribute tests in a production's LHS (the OPS5

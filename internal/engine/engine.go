@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"soarpsme/internal/conflict"
+	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/rete"
+	"soarpsme/internal/spin"
 	"soarpsme/internal/value"
 	"soarpsme/internal/wme"
 )
@@ -32,6 +34,10 @@ type Config struct {
 	// Watch prints a run trace to Output: 1 = production firings,
 	// 2 = firings plus working-memory changes (OPS5's watch levels).
 	Watch int
+	// Obs, when non-nil, enables the observability layer: per-cycle and
+	// per-task metrics flow into its registry and spans into its tracer.
+	// Nil (the default) makes every hook a no-op.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns a single-process, multi-queue, shared-network
@@ -68,6 +74,23 @@ type Engine struct {
 
 	// pendingExcise holds (excise ...) actions deferred to quiescence.
 	pendingExcise []string
+
+	// Pre-resolved observability handles (all nil when cfg.Obs is nil).
+	obs           *obs.Observer
+	mCycles       *obs.Counter
+	mWMEChanges   *obs.Counter
+	mChunksAdded  *obs.Counter
+	mQueueSpins   *obs.Counter
+	mQueueAcqs    *obs.Counter
+	mLineSpins    *obs.Counter
+	mLineAcqs     *obs.Counter
+	mBucketAccess *obs.Counter
+	mCycleSecs    *obs.Histogram
+	mSpliceSecs   *obs.Histogram
+	mUpdateTasks  *obs.Histogram
+	lastQueue     spin.Counts
+	lastLine      spin.Counts
+	lastAccess    uint64
 }
 
 // New creates an empty engine.
@@ -80,7 +103,59 @@ func New(cfg Config) *Engine {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 10000
 	}
-	return &Engine{Tab: tab, Reg: reg, WM: wme.NewMemory(), NW: nw, RT: rt, CS: cs, cfg: cfg}
+	e := &Engine{Tab: tab, Reg: reg, WM: wme.NewMemory(), NW: nw, RT: rt, CS: cs, cfg: cfg}
+	if o := cfg.Obs; o != nil {
+		e.obs = o
+		e.mCycles = o.Counter("match_cycles_total")
+		e.mWMEChanges = o.Counter("wme_changes_total")
+		e.mChunksAdded = o.Counter("chunks_added_total")
+		e.mQueueSpins = o.Counter("queue_lock_spins_total")
+		e.mQueueAcqs = o.Counter("queue_lock_acquires_total")
+		e.mLineSpins = o.Counter("hash_line_lock_spins_total")
+		e.mLineAcqs = o.Counter("hash_line_lock_acquires_total")
+		e.mBucketAccess = o.Counter("hash_bucket_accesses_total")
+		e.mCycleSecs = o.Histogram("match_cycle_seconds")
+		e.mSpliceSecs = o.Histogram("rete_add_splice_seconds")
+		e.mUpdateTasks = o.Histogram("state_update_tasks", obs.ExpBuckets(1, 4, 10)...)
+		// The match workers render on tid lanes 1..P of trace pid 0.
+		o.Tracer().SetProcessName(0, "soarpsme match pipeline")
+		o.Tracer().SetThreadName(0, 0, "control")
+		for w := 1; w <= cfg.Processes; w++ {
+			o.Tracer().SetThreadName(0, w, fmt.Sprintf("match-%d", w))
+		}
+		rt.SetObserver(o.MatchHooks(0))
+	}
+	return e
+}
+
+// Obs returns the engine's observer (nil when observability is disabled);
+// callers hand it to obs' nil-safe accessors.
+func (e *Engine) Obs() *obs.Observer { return e.obs }
+
+// flushContention folds the spin-lock and hash-bucket counter deltas since
+// the previous flush into the registry — the paper's contention measures
+// (Figures 6-2/6-3) as live counters instead of only end-of-run totals.
+func (e *Engine) flushContention() {
+	// delta clamps against external counter resets (Reset*Stats callers).
+	delta := func(cur, last uint64) uint64 {
+		if cur < last {
+			return cur
+		}
+		return cur - last
+	}
+	qs, qa := e.RT.QueueLockStats()
+	e.mQueueSpins.Add(delta(qs, e.lastQueue.Spins))
+	e.mQueueAcqs.Add(delta(qa, e.lastQueue.Acquires))
+	e.lastQueue = spin.Counts{Spins: qs, Acquires: qa}
+
+	ls, la := e.NW.Mem.LockStats()
+	e.mLineSpins.Add(delta(ls, e.lastLine.Spins))
+	e.mLineAcqs.Add(delta(la, e.lastLine.Acquires))
+	e.lastLine = spin.Counts{Spins: ls, Acquires: la}
+
+	al, ar := e.NW.Mem.AccessTotals()
+	e.mBucketAccess.Add(delta(al+ar, e.lastAccess))
+	e.lastAccess = al + ar
 }
 
 // Halted reports whether a (halt) action has executed.
@@ -142,7 +217,23 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 			fmt.Fprintf(e.cfg.Output, ";; %s %d %s\n", mark, d.WME.TimeTag, d.WME.Format(e.Tab, e.Reg))
 		}
 	}
+	var start time.Time
+	if e.obs != nil {
+		e.obs.Tracer().MarkCycle()
+		start = time.Now()
+	}
 	cs := e.RT.RunCycle(applied)
+	if e.obs != nil {
+		d := time.Since(start)
+		e.mCycles.Inc()
+		e.mWMEChanges.Add(uint64(len(applied)))
+		e.mCycleSecs.Observe(d.Seconds())
+		e.obs.Tracer().Complete(0, 0, "match-cycle", "cycle", start, d, map[string]any{
+			"tasks": cs.Tasks, "wme-changes": len(applied), "modeled-us": cs.TotalCost,
+			"failed-pops": cs.FailedPops, "steals": cs.Steals,
+		})
+		e.flushContention()
+	}
 	e.CycleStats = append(e.CycleStats, cs)
 	if e.AfterCycle != nil {
 		e.AfterCycle(&e.CycleStats[len(e.CycleStats)-1])
@@ -419,10 +510,27 @@ func (e *Engine) AddProductionRuntime(ast *ops5.Production) (*AddResult, error) 
 		return nil, err
 	}
 	res := &AddResult{Prod: prod, Info: info, CompileTime: time.Since(start)}
+	if e.obs != nil {
+		e.mChunksAdded.Inc()
+		e.mSpliceSecs.Observe(info.SpliceTime.Seconds())
+		e.obs.Tracer().Complete(0, 0, "add-production:"+prod.Name, "add", start, res.CompileTime,
+			map[string]any{"new-nodes": len(info.NewBeta), "shared-2in": info.SharedTwoInput,
+				"splice-us": float64(info.SpliceTime) / float64(time.Microsecond)})
+	}
 	if e.WM.Len() > 0 && len(info.NewBeta) > 0 {
 		e.RT.SetUpdateFilter(info.FirstNewID)
 		seeds := e.NW.SeedUpdateTasks(info)
+		var ustart time.Time
+		if e.obs != nil {
+			ustart = time.Now()
+		}
 		res.Update = e.RT.RunSeeded(seeds, e.WM.All())
+		if e.obs != nil {
+			e.mUpdateTasks.Observe(float64(res.Update.Tasks))
+			e.obs.Tracer().Complete(0, 0, "state-update:"+prod.Name, "update", ustart, time.Since(ustart),
+				map[string]any{"tasks": res.Update.Tasks, "seeds": len(seeds), "modeled-us": res.Update.TotalCost})
+			e.flushContention()
+		}
 		e.RT.SetUpdateFilter(0)
 		e.UpdateStats = append(e.UpdateStats, res.Update)
 	}

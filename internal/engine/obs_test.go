@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soarpsme/internal/obs"
+	"soarpsme/internal/ops5"
+)
+
+// TestObservability runs a program with the observer attached and checks
+// that the pipeline hooks actually fire: match counters, the cycle
+// histogram, the contention flush, and the trace spans.
+func TestObservability(t *testing.T) {
+	o := obs.New()
+	cfg := DefaultConfig()
+	cfg.Processes = 4
+	cfg.Obs = o
+	e, _ := run(t, counterSrc, cfg)
+	if !e.Halted() {
+		t.Fatal("did not halt")
+	}
+
+	if got := o.Counter("match_tasks_total").Value(); got == 0 {
+		t.Fatal("match_tasks_total is zero")
+	}
+	if got := o.Counter("match_cycles_total").Value(); got != uint64(len(e.CycleStats)) {
+		t.Fatalf("match_cycles_total = %d, want %d", got, len(e.CycleStats))
+	}
+	if got := o.Counter("wme_changes_total").Value(); got == 0 {
+		t.Fatal("wme_changes_total is zero")
+	}
+	if got := o.Histogram("match_cycle_seconds").Count(); got != uint64(len(e.CycleStats)) {
+		t.Fatalf("match_cycle_seconds count = %d, want %d", got, len(e.CycleStats))
+	}
+	// The contention flush must agree with the runtime's own cumulative
+	// queue-lock counters.
+	_, qa := e.RT.QueueLockStats()
+	if got := o.Counter("queue_lock_acquires_total").Value(); got != qa {
+		t.Fatalf("queue_lock_acquires_total = %d, want %d", got, qa)
+	}
+
+	if o.Trc.Len() == 0 {
+		t.Fatal("tracer collected no events")
+	}
+	var buf bytes.Buffer
+	if err := o.Trc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"match-cycle"`, `"ph":"X"`, `"cat":"task"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s:\n%.2000s", want, out)
+		}
+	}
+
+	var mb bytes.Buffer
+	if err := o.Reg.WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	metrics := mb.String()
+	for _, want := range []string{"match_tasks_total", "queue_lock_spins_total", "# TYPE match_cycle_seconds histogram"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestObservabilityRuntimeAddition checks the run-time addition hooks:
+// splice timing, chunk counter and the state-update span.
+func TestObservabilityRuntimeAddition(t *testing.T) {
+	o := obs.New()
+	cfg := DefaultConfig()
+	cfg.Obs = o
+	var out bytes.Buffer
+	cfg.Output = &out
+	e := New(cfg)
+	if err := e.LoadProgram(`
+(literalize item name qty)
+(startup (make item ^name bolt ^qty 2) (make item ^name nut ^qty 3))
+`); err != nil {
+		t.Fatal(err)
+	}
+	ast, err := ops5.ParseProduction(`(p spot (item ^name bolt ^qty <q>) --> (write found <q>))`, e.Tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddProductionRuntime(ast); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("chunks_added_total").Value(); got != 1 {
+		t.Fatalf("chunks_added_total = %d, want 1", got)
+	}
+	if got := o.Histogram("rete_add_splice_seconds").Count(); got != 1 {
+		t.Fatalf("rete_add_splice_seconds count = %d, want 1", got)
+	}
+	var buf bytes.Buffer
+	if err := o.Trc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"add-production:spot", "state-update:spot"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("trace missing %q span", want)
+		}
+	}
+}
+
+// TestObservabilityDisabled checks the nil path end to end: a nil observer
+// in the config must change nothing and panic nowhere.
+func TestObservabilityDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Processes = 2
+	cfg.Obs = nil
+	e, _ := run(t, counterSrc, cfg)
+	if e.Fired != 11 {
+		t.Fatalf("fired %d, want 11", e.Fired)
+	}
+	if e.Obs() != nil {
+		t.Fatal("Obs() should be nil when disabled")
+	}
+}

@@ -174,6 +174,10 @@ type Diagnosis struct {
 	CycleTasks   int
 	Speedup      float64
 	CriticalPath int
+	// FailedPops/Steals are the simulated queue diagnostics of the cycle
+	// at the diagnosis process count (§6.1).
+	FailedPops int64
+	Steals     int64
 	// Cause is "small-cycle", "long-chain", or "tail-end".
 	Cause string
 	// Production owning the node where the critical path terminates.
@@ -200,11 +204,16 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 		if len(tr) < 5 {
 			continue
 		}
-		sp := sim.Speedup(tr, procs, sim.MultiQueue, QueueOp)
+		one := sim.Simulate(tr, sim.Config{Processes: 1, Policy: sim.SingleQueue, QueueOp: QueueOp})
+		par := sim.Simulate(tr, sim.Config{Processes: procs, Policy: sim.MultiQueue, QueueOp: QueueOp})
+		sp := 1.0
+		if par.Makespan > 0 {
+			sp = float64(one.Makespan) / float64(par.Makespan)
+		}
 		if sp >= threshold {
 			continue
 		}
-		d := Diagnosis{CycleTasks: len(tr), Speedup: sp}
+		d := Diagnosis{CycleTasks: len(tr), Speedup: sp, FailedPops: par.FailedPops, Steals: par.Steals}
 		// Critical path and its terminal node.
 		depth := make(map[int64]int, len(tr))
 		var tail prun.TaskRec
@@ -242,9 +251,10 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 func DiagnoseTable(l *Lab) *stats.Table {
 	t := &stats.Table{
 		Title:   "Diagnostics (§7): low-speedup cycles, Eight-puzzle during chunking (11 processes, speedup < 5)",
-		Headers: []string{"Tasks", "Speedup", "Critical path", "Cause", "Suggestion"},
+		Headers: []string{"Tasks", "Speedup", "Critical path", "Failed pops", "Steals", "Cause", "Suggestion"},
 	}
-	diags := Diagnose(l.EightPuzzle(DuringChunk), 11, 5)
+	c := l.EightPuzzle(DuringChunk)
+	diags := Diagnose(c, 11, 5)
 	max := 12
 	for i, d := range diags {
 		if i >= max {
@@ -254,11 +264,19 @@ func DiagnoseTable(l *Lab) *stats.Table {
 			fmt.Sprintf("%d", d.CycleTasks),
 			fmt.Sprintf("%.2f", d.Speedup),
 			fmt.Sprintf("%d", d.CriticalPath),
+			fmt.Sprintf("%d", d.FailedPops),
+			fmt.Sprintf("%d", d.Steals),
 			d.Cause,
 			d.Suggestion)
 	}
 	if len(diags) > max {
-		t.AddRow(fmt.Sprintf("(+%d more)", len(diags)-max), "", "", "", "")
+		t.AddRow(fmt.Sprintf("(+%d more)", len(diags)-max), "", "", "", "", "", "")
 	}
+	// The live runtime's own queue diagnostics for the whole capture — the
+	// counters prun records but the harness previously dropped.
+	t.AddRow("(live run)", "", "",
+		fmt.Sprintf("%d", c.FailedPops),
+		fmt.Sprintf("%d", c.Steals),
+		"runtime totals", "failed pops / steals observed by prun across all cycles")
 	return t
 }

@@ -12,6 +12,7 @@ import (
 
 	"soarpsme/internal/codegen"
 	"soarpsme/internal/engine"
+	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/rete"
@@ -35,6 +36,10 @@ type Capture struct {
 	TasksPerCycle []int
 	Tasks         int
 	TotalCost     int64
+	// FailedPops/Steals are the live runtime's queue diagnostics summed
+	// over all cycles (§6.1; surfaced by -exp diagnose).
+	FailedPops int64
+	Steals     int64
 	// BucketAccesses holds per-line left-token access counts per cycle
 	// (Figure 6-2's contention measure).
 	BucketAccesses []int
@@ -62,6 +67,8 @@ func (c *Capture) harvest(e *engine.Engine) {
 		c.TasksPerCycle = append(c.TasksPerCycle, cs.Tasks)
 		c.Tasks += cs.Tasks
 		c.TotalCost += cs.TotalCost
+		c.FailedPops += cs.FailedPops
+		c.Steals += cs.Steals
 	}
 	for _, cs := range e.UpdateStats {
 		if len(cs.Trace) > 0 {
@@ -69,6 +76,8 @@ func (c *Capture) harvest(e *engine.Engine) {
 		}
 		c.Tasks += cs.Tasks
 		c.TotalCost += cs.TotalCost
+		c.FailedPops += cs.FailedPops
+		c.Steals += cs.Steals
 	}
 	jt := codegen.NewJumptable()
 	for _, add := range e.Additions {
@@ -122,6 +131,7 @@ func (m Mode) String() string {
 type Lab struct {
 	cache map[string]*Capture
 	opts  rete.Options
+	obs   *obs.Observer
 }
 
 // NewLab returns an empty lab with default network options.
@@ -129,11 +139,16 @@ func NewLab() *Lab {
 	return &Lab{cache: map[string]*Capture{}, opts: rete.DefaultOptions()}
 }
 
-func engCfg(opts rete.Options) engine.Config {
+// SetObserver attaches an observability handle to every engine the lab
+// creates from now on (live /metrics while experiments run).
+func (l *Lab) SetObserver(o *obs.Observer) { l.obs = o }
+
+func (l *Lab) engCfg() engine.Config {
 	cfg := engine.DefaultConfig()
 	cfg.Processes = 1 // sequential capture: deterministic traces
 	cfg.CaptureTrace = true
-	cfg.Rete = opts
+	cfg.Rete = l.opts
+	cfg.Obs = l.obs
 	return cfg
 }
 
@@ -146,7 +161,7 @@ func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) *Capture {
 		return c
 	}
 	cfg := soar.Config{
-		Engine:       engCfg(l.opts),
+		Engine:       l.engCfg(),
 		Chunking:     mode != NoChunk,
 		MaxDecisions: 400,
 	}
@@ -191,7 +206,7 @@ func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Captu
 		return c
 	}
 	cfg := soar.Config{
-		Engine:       engCfg(l.opts),
+		Engine:       l.engCfg(),
 		Chunking:     true,
 		MaxDecisions: 150, // fixed-budget episodes for the long-run study
 	}
@@ -246,7 +261,7 @@ func (l *Lab) Cypress(mode Mode) *Capture {
 		return c
 	}
 	sys := cypress.Generate(cypress.DefaultParams())
-	e := engine.New(engCfg(l.opts))
+	e := engine.New(l.engCfg())
 	if err := e.LoadProgram(sys.Source); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Setup builds an Observer from the common CLI flag values: a Chrome-trace
+// output path (-trace), a Prometheus-text output path (-metrics), and a
+// diagnostics listen address (-listen). When all three are empty it returns
+// a nil Observer — callers pass it straight into the engine config and
+// every hook stays a no-op.
+//
+// The returned flush function writes the output files and shuts down the
+// server; call it once after the run (it is non-nil even when disabled).
+func Setup(tracePath, metricsPath, listen string) (*Observer, func() error, error) {
+	if tracePath == "" && metricsPath == "" && listen == "" {
+		return nil, func() error { return nil }, nil
+	}
+	o := New()
+	var srv *Server
+	if listen != "" {
+		s, err := Serve(listen, o.Reg, o.Trc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: listen %s: %w", listen, err)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, ";; obs: diagnostics on http://%s/ (/metrics, /trace/last-cycle, /debug/pprof/)\n", s.Addr())
+	}
+	flush := func() error {
+		var first error
+		if tracePath != "" {
+			if err := writeFile(tracePath, func(f *os.File) error { return o.Trc.WriteJSON(f) }); err != nil && first == nil {
+				first = err
+			}
+		}
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, func(f *os.File) error { return o.Reg.WriteText(f) }); err != nil && first == nil {
+				first = err
+			}
+		}
+		if srv != nil {
+			if err := srv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return o, flush, nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

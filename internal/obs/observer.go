@@ -1,0 +1,85 @@
+package obs
+
+// Observer bundles a registry and a tracer — the handle the engine, the
+// match runtime and the CLIs share. A nil *Observer disables all
+// observability: every accessor returns nil, and all metric/trace methods
+// on those nil results are no-ops.
+type Observer struct {
+	Reg *Registry
+	Trc *Tracer
+}
+
+// New returns an enabled observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Reg: NewRegistry(), Trc: NewTracer()}
+}
+
+// Counter resolves a registry counter (nil when disabled).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Gauge resolves a registry gauge (nil when disabled).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Histogram resolves a registry histogram (nil when disabled).
+func (o *Observer) Histogram(name string, bounds ...float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name, bounds...)
+}
+
+// Tracer returns the tracer (nil when disabled).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trc
+}
+
+// MatchHooks is the pre-resolved hot-path instrumentation handed to the
+// parallel match runtime: the per-task path touches plain pointers instead
+// of doing registry lookups. A nil *MatchHooks disables match
+// instrumentation entirely (one pointer test per task).
+type MatchHooks struct {
+	// Tasks counts executed match tasks (match_tasks_total).
+	Tasks *Counter
+	// Steals counts pops from another process's queue (queue_steals_total).
+	Steals *Counter
+	// FailedPops counts pop attempts that found every queue empty
+	// (queue_failed_pops_total).
+	FailedPops *Counter
+	// TaskCost is the modeled per-task cost distribution in µs
+	// (match_task_cost_us).
+	TaskCost *Histogram
+	// Trc, when non-nil, receives one complete span per executed task on
+	// the worker's lane plus steal instants.
+	Trc *Tracer
+	// Pid is the trace process lane the match goroutines render under.
+	Pid int
+}
+
+// MatchHooks builds the runtime's hook set under the given trace pid; nil
+// when the observer is disabled.
+func (o *Observer) MatchHooks(pid int) *MatchHooks {
+	if o == nil {
+		return nil
+	}
+	return &MatchHooks{
+		Tasks:      o.Counter("match_tasks_total"),
+		Steals:     o.Counter("queue_steals_total"),
+		FailedPops: o.Counter("queue_failed_pops_total"),
+		TaskCost:   o.Histogram("match_task_cost_us", ExpBuckets(100, 2, 10)...),
+		Trc:        o.Trc,
+		Pid:        pid,
+	}
+}

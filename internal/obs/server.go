@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the diagnostics handler: /metrics (Prometheus text
+// exposition of reg), /trace/last-cycle and /trace/full (Chrome
+// trace-event JSON from trc), and the standard /debug/pprof endpoints.
+func NewMux(reg *Registry, trc *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "soarpsme diagnostics\n\n"+
+			"/metrics            Prometheus text exposition\n"+
+			"/trace/last-cycle   Chrome trace JSON of the last match cycle\n"+
+			"/trace/full         Chrome trace JSON of the whole run so far\n"+
+			"/debug/pprof/       Go runtime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/trace/last-cycle", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		trc.WriteLastCycle(w)
+	})
+	mux.HandleFunc("/trace/full", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		trc.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running diagnostics server.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the diagnostics server on addr (e.g. ":6060"; ":0" picks a
+// free port) and serves in the background until Close.
+func Serve(addr string, reg *Registry, trc *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: NewMux(reg, trc)}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestServerEndpoints(t *testing.T) {
+	o := New()
+	o.Counter("match_tasks_total").Add(3)
+	o.Trc.CompleteTS(0, 1, "Join#1", "task", 0, 50, nil)
+
+	s, err := Serve("127.0.0.1:0", o.Reg, o.Trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "match_tasks_total 3") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body := get("/trace/last-cycle")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/last-cycle: code=%d", code)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace/last-cycle not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Name != "Join#1" {
+		t.Fatalf("/trace/last-cycle events = %+v", events)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+}
+
+func TestSetupDisabled(t *testing.T) {
+	o, flush, err := Setup("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("disabled Setup returned an observer")
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupFiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/t.json"
+	metricsPath := dir + "/m.txt"
+	o, flush, err := Setup(tracePath, metricsPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Counter("wme_changes_total").Inc()
+	o.Trc.InstantTS(0, 0, "x", "", 1, nil)
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := io.ReadAll(mustOpen(t, tracePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(tb, &events); err != nil {
+		t.Fatalf("trace file not JSON: %v", err)
+	}
+	mb, err := io.ReadAll(mustOpen(t, metricsPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "wme_changes_total 1") {
+		t.Fatalf("metrics file missing counter:\n%s", mb)
+	}
+}

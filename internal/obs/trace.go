@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one Chrome trace-event (the JSON array format documented in the
+// Trace Event Format spec; loadable in chrome://tracing and Perfetto).
+// Ph "X" is a complete span (Ts + Dur), "i" an instant, "M" metadata.
+// Timestamps and durations are microseconds.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects trace events. Emission is concurrency-safe; wall-clock
+// events are timestamped relative to the tracer's creation so a trace
+// always starts near ts 0.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+	// cycleMark indexes the first event of the current match cycle (the
+	// /trace/last-cycle window).
+	cycleMark int
+}
+
+// NewTracer returns an empty tracer with its epoch set to now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// ts converts a wall-clock time to trace microseconds.
+func (t *Tracer) ts(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Microsecond)
+}
+
+func (t *Tracer) emit(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Complete emits a complete span ("X") from start lasting d.
+func (t *Tracer) Complete(pid, tid int, name, cat string, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Ph: "X", Ts: t.ts(start), Dur: float64(d) / float64(time.Microsecond), Pid: pid, Tid: tid, Args: args})
+}
+
+// CompleteTS emits a complete span with explicit microsecond timestamps
+// (for modeled schedules and deterministic tests).
+func (t *Tracer) CompleteTS(pid, tid int, name, cat string, tsUS, durUS float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Ph: "X", Ts: tsUS, Dur: durUS, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant emits an instant event ("i") at the given wall-clock time.
+func (t *Tracer) Instant(pid, tid int, name, cat string, at time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Ph: "i", Ts: t.ts(at), Pid: pid, Tid: tid, Args: args})
+}
+
+// InstantTS emits an instant event with an explicit microsecond timestamp.
+func (t *Tracer) InstantTS(pid, tid int, name, cat string, tsUS float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Ph: "i", Ts: tsUS, Pid: pid, Tid: tid, Args: args})
+}
+
+// SetProcessName emits the process_name metadata event for a pid lane.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// SetThreadName emits the thread_name metadata event for a (pid, tid) lane.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// MarkCycle starts a new /trace/last-cycle window: events emitted from now
+// on (until the next MarkCycle) are "the last cycle".
+func (t *Tracer) MarkCycle() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cycleMark = len(t.events)
+	t.mu.Unlock()
+}
+
+// Len returns the number of collected events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Tracer) snapshot(fromMark bool) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo := 0
+	if fromMark {
+		lo = t.cycleMark
+	}
+	return append([]Event(nil), t.events[lo:]...)
+}
+
+// WriteJSON writes every collected event as a Chrome trace-event JSON
+// array, one event per line.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	return writeEvents(w, t.snapshot(false))
+}
+
+// WriteLastCycle writes only the events emitted since the last MarkCycle.
+func (t *Tracer) WriteLastCycle(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	return writeEvents(w, t.snapshot(true))
+}
+
+func writeEvents(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

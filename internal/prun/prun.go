@@ -8,10 +8,13 @@
 package prun
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"soarpsme/internal/obs"
 	"soarpsme/internal/rete"
 	"soarpsme/internal/spin"
 	"soarpsme/internal/wme"
@@ -57,7 +60,10 @@ type CycleStats struct {
 	Tasks      int
 	TotalCost  int64 // summed modeled task cost (sequential work, µs)
 	FailedPops int64
-	Trace      []TaskRec
+	// Steals counts tasks popped from another process's queue (multi-queue
+	// cycle-stealing, §6.1).
+	Steals int64
+	Trace  []TaskRec
 }
 
 // Runtime drives a rete.Network with parallel match processes.
@@ -72,7 +78,12 @@ type Runtime struct {
 	// run-time update filter (paper §5.2).
 	minNodeID  atomic.Uint32
 	failedPops atomic.Int64
+	steals     atomic.Int64
 	rrInject   atomic.Int64
+
+	// obs, when non-nil, receives per-task counters, cost observations and
+	// trace spans. Nil costs one pointer test per task.
+	obs *obs.MatchHooks
 
 	traceMu sync.Mutex
 	trace   []TaskRec
@@ -107,6 +118,10 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 func (rt *Runtime) SetUpdateFilter(firstNew rete.NodeID) {
 	rt.minNodeID.Store(uint32(firstNew))
 }
+
+// SetObserver attaches (non-nil) or detaches (nil) match instrumentation.
+// Must be called while no cycle is running.
+func (rt *Runtime) SetObserver(h *obs.MatchHooks) { rt.obs = h }
 
 // sched is the per-worker scheduler handed to rete.Exec; worker w pushes
 // onto its own queue under MultiQueue.
@@ -155,6 +170,7 @@ func (q *taskQueue) pop() *rete.Task {
 // are applied before match begins.
 func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 	rt.failedPops.Store(0)
+	rt.steals.Store(0)
 	if rt.cfg.CaptureTrace {
 		rt.trace = rt.trace[:0]
 	}
@@ -172,6 +188,7 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 // filter must already be engaged.
 func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 	rt.failedPops.Store(0)
+	rt.steals.Store(0)
 	if rt.cfg.CaptureTrace {
 		rt.trace = rt.trace[:0]
 	}
@@ -200,26 +217,54 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 			defer wg.Done()
 			own := rt.queues[id%len(rt.queues)]
 			mySched := sched{rt: rt, q: own}
+			h := rt.obs
+			tracing := h != nil && h.Trc != nil
 			var local []TaskRec
 			for {
 				t := own.pop()
+				stolen := false
 				if t == nil && len(rt.queues) > 1 {
 					for i := 1; i < len(rt.queues) && t == nil; i++ {
 						t = rt.queues[(id+i)%len(rt.queues)].pop()
 					}
+					stolen = t != nil
 				}
 				if t == nil {
 					rt.failedPops.Add(1)
+					if h != nil {
+						h.FailedPops.Inc()
+					}
 					if rt.pending.Load() == 0 {
 						break
 					}
 					runtime.Gosched()
 					continue
 				}
+				if stolen {
+					rt.steals.Add(1)
+					if h != nil {
+						h.Steals.Inc()
+					}
+				}
+				var start time.Time
+				if tracing {
+					start = time.Now()
+				}
 				cost := rt.nw.Exec(t, mySched)
 				t.Cost = cost
 				tasks.Add(1)
 				totalCost.Add(cost)
+				if h != nil {
+					h.Tasks.Inc()
+					h.TaskCost.Observe(float64(cost))
+					if tracing {
+						args := map[string]any{"node": int(t.Node.ID), "seq": t.Seq, "cost-us": cost}
+						if stolen {
+							args["stolen"] = true
+						}
+						h.Trc.Complete(h.Pid, id+1, fmt.Sprintf("%v#%d", t.Node.Kind, t.Node.ID), "task", start, time.Since(start), args)
+					}
+				}
 				if rt.cfg.CaptureTrace {
 					local = append(local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
 				}
@@ -237,6 +282,7 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 		Tasks:      int(tasks.Load()),
 		TotalCost:  totalCost.Load(),
 		FailedPops: rt.failedPops.Load(),
+		Steals:     rt.steals.Load(),
 	}
 	if rt.cfg.CaptureTrace {
 		cs.Trace = append([]TaskRec(nil), rt.trace...)

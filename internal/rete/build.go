@@ -3,6 +3,7 @@ package rete
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/value"
@@ -24,6 +25,10 @@ type AddInfo struct {
 	Boundary []*BetaNode
 	// SharedTwoInput counts reused two-input nodes (sharing statistics).
 	SharedTwoInput int
+	// SpliceTime is the wall-clock duration of the network surgery itself
+	// (node creation plus jumptable-style successor splicing), excluding
+	// the caller's state-update cycle.
+	SpliceTime time.Duration
 }
 
 // builder carries per-production compilation state.
@@ -43,6 +48,7 @@ type builder struct {
 // productions where Options.ShareBeta allows. The caller must be quiescent
 // (no match tasks in flight). The returned AddInfo seeds the state update.
 func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, error) {
+	start := time.Now()
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nw.prods[ast.Name] != nil {
@@ -83,6 +89,7 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 
 	b.info.Prod = prod
 	b.finishInfo()
+	b.info.SpliceTime = time.Since(start)
 	return prod, b.info, nil
 }
 

@@ -30,8 +30,24 @@ type Line struct {
 	left  *LEntry
 	right *REntry
 	// leftAccesses counts left-token accesses this cycle (Figure 6-2).
+	// cumLeft/cumRight are the run-cumulative totals (never reset by the
+	// per-cycle harvest) the observability layer reads.
 	leftAccesses  uint32
 	rightAccesses uint32
+	cumLeft       uint64
+	cumRight      uint64
+}
+
+// touchLeft/touchRight bump both the per-cycle and cumulative access
+// counters (caller holds the line lock).
+func (l *Line) touchLeft() {
+	l.leftAccesses++
+	l.cumLeft++
+}
+
+func (l *Line) touchRight() {
+	l.rightAccesses++
+	l.cumRight++
 }
 
 // LEntry is a left-memory entry: a token stored at a two-input node. count
@@ -91,7 +107,7 @@ func (m *Mem) line(node NodeID, key uint64) *Line {
 // is present the add is annihilated: nothing is inserted and annihilated is
 // true (the caller must not emit pairings).
 func (l *Line) addLeft(node NodeID, key uint64, tok *Token, count int32) (entry *LEntry, annihilated bool) {
-	l.leftAccesses++
+	l.touchLeft()
 	var prev *LEntry
 	for e := l.left; e != nil; e = e.next {
 		if e.tomb && e.node == node && e.key == key && e.tok.Equal(tok) {
@@ -112,7 +128,7 @@ func (l *Line) addLeft(node NodeID, key uint64, tok *Token, count int32) (entry 
 // removeLeft removes tok from node's left memory on l, returning the
 // removed entry. When absent, a tombstone is inserted and found is false.
 func (l *Line) removeLeft(node NodeID, key uint64, tok *Token) (removed *LEntry, found bool) {
-	l.leftAccesses++
+	l.touchLeft()
 	var prev *LEntry
 	for e := l.left; e != nil; e = e.next {
 		if !e.tomb && e.node == node && e.key == key && e.tok.Equal(tok) {
@@ -141,7 +157,7 @@ func (l *Line) findLeft(node NodeID, key uint64, tok *Token) *LEntry {
 
 // eachLeft calls fn for every live left entry of node with the given key.
 func (l *Line) eachLeft(node NodeID, key uint64, fn func(*LEntry)) {
-	l.leftAccesses++
+	l.touchLeft()
 	for e := l.left; e != nil; e = e.next {
 		if !e.tomb && e.node == node && e.key == key {
 			fn(e)
@@ -153,7 +169,7 @@ func (l *Line) eachLeft(node NodeID, key uint64, fn func(*LEntry)) {
 
 // addRight inserts a wme right entry, honouring tombstones.
 func (l *Line) addRight(node NodeID, key uint64, w *wme.WME) (annihilated bool) {
-	l.rightAccesses++
+	l.touchRight()
 	var prev *REntry
 	for e := l.right; e != nil; e = e.next {
 		if e.tomb && e.node == node && e.key == key && e.w == w {
@@ -172,7 +188,7 @@ func (l *Line) addRight(node NodeID, key uint64, w *wme.WME) (annihilated bool) 
 
 // removeRight removes a wme right entry or leaves a tombstone.
 func (l *Line) removeRight(node NodeID, key uint64, w *wme.WME) (found bool) {
-	l.rightAccesses++
+	l.touchRight()
 	var prev *REntry
 	for e := l.right; e != nil; e = e.next {
 		if !e.tomb && e.node == node && e.key == key && e.w == w {
@@ -192,7 +208,7 @@ func (l *Line) removeRight(node NodeID, key uint64, w *wme.WME) (found bool) {
 // addSubResult inserts a token-pair right entry — an NCC partner result or
 // a bilinear join's right-side token — honouring tombstones.
 func (l *Line) addSubResult(node NodeID, key uint64, owner, sub *Token) (annihilated bool) {
-	l.rightAccesses++
+	l.touchRight()
 	var prev *REntry
 	for e := l.right; e != nil; e = e.next {
 		if e.tomb && e.node == node && e.key == key && e.sub.Equal(sub) && e.owner.Equal(owner) {
@@ -211,7 +227,7 @@ func (l *Line) addSubResult(node NodeID, key uint64, owner, sub *Token) (annihil
 
 // removeSubResult removes a token-pair right entry or leaves a tombstone.
 func (l *Line) removeSubResult(node NodeID, key uint64, owner, sub *Token) (found bool) {
-	l.rightAccesses++
+	l.touchRight()
 	var prev *REntry
 	for e := l.right; e != nil; e = e.next {
 		if !e.tomb && e.node == node && e.key == key && e.sub != nil && e.sub.Equal(sub) && e.owner.Equal(owner) {
@@ -230,7 +246,7 @@ func (l *Line) removeSubResult(node NodeID, key uint64, owner, sub *Token) (foun
 
 // eachRight calls fn for every live right entry of node with the given key.
 func (l *Line) eachRight(node NodeID, key uint64, fn func(*REntry)) {
-	l.rightAccesses++
+	l.touchRight()
 	for e := l.right; e != nil; e = e.next {
 		if !e.tomb && e.node == node && e.key == key {
 			fn(e)
@@ -337,6 +353,21 @@ func (m *Mem) HarvestAccessCounts() []int {
 		l.rightAccesses = 0
 	}
 	return out
+}
+
+// AccessTotals sums the run-cumulative (left, right) bucket access counts
+// over all lines. Unlike HarvestAccessCounts, reading these never resets
+// anything, so the per-cycle harvest and the observability layer can both
+// consume access counts from the same run.
+func (m *Mem) AccessTotals() (left, right uint64) {
+	for i := range m.lines {
+		l := &m.lines[i]
+		l.Lock.Lock()
+		left += l.cumLeft
+		right += l.cumRight
+		l.Lock.Unlock()
+	}
+	return
 }
 
 // LockStats sums (spins, acquires) over all line locks.

@@ -54,6 +54,9 @@ type Result struct {
 	Tasks      int
 	QueueSpins int64 // µs spent waiting on queue locks
 	FailedPops int64
+	// Steals counts tasks popped from a queue other than the popping
+	// processor's own (multi-queue cycle-stealing).
+	Steals int64
 	// Busy[p] is processor p's busy time (task execution only).
 	Busy []int64
 	// Samples is (time, tasks-in-system) at task push/completion events.
@@ -238,6 +241,9 @@ func Simulate(trace []prun.TaskRec, cfg Config) *Result {
 			}
 			if id, ok := pop(q, start); ok {
 				got = id
+				if k > 0 {
+					res.Steals++
+				}
 				t = start + cfg.QueueOp
 				lockFree[q] = t
 				break
@@ -305,6 +311,7 @@ func MultiCycle(traces [][]prun.TaskRec, cfg Config) *Result {
 		total.Tasks += r.Tasks
 		total.QueueSpins += r.QueueSpins
 		total.FailedPops += r.FailedPops
+		total.Steals += r.Steals
 		for i := range r.Busy {
 			if i < len(total.Busy) {
 				total.Busy[i] += r.Busy[i]

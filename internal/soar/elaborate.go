@@ -2,6 +2,7 @@ package soar
 
 import (
 	"fmt"
+	"time"
 
 	"soarpsme/internal/chunk"
 	"soarpsme/internal/conflict"
@@ -30,6 +31,9 @@ func (a *Agent) elaborate() error {
 			return nil
 		}
 		a.res.ElabCycles++
+		if o := a.Eng.Obs(); o != nil {
+			o.Counter("elaboration_cycles_total").Inc()
+		}
 		var deltas []wme.Delta
 		for _, in := range live {
 			ds, err := a.Eng.FireInstantiation(in)
@@ -63,6 +67,11 @@ func (a *Agent) elaborate() error {
 					a.pendingC = append(a.pendingC, ast)
 					a.res.ChunkCEs = append(a.res.ChunkCEs, len(ast.LHS))
 					a.tracef("  built %s (%d CEs)", name, len(ast.LHS))
+					if o := a.Eng.Obs(); o != nil {
+						o.Counter("chunks_built_total").Inc()
+						o.Tracer().Instant(0, 0, "chunk-built:"+name, "chunk", time.Now(),
+							map[string]any{"ces": len(ast.LHS), "level": gl})
+					}
 				}
 			}
 			if a.Eng.Halted() {

@@ -25,6 +25,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"soarpsme/internal/chunk"
 	"soarpsme/internal/engine"
@@ -370,16 +371,27 @@ func (a *Agent) Run() (*Result, error) {
 	if err := a.initTop(); err != nil {
 		return nil, err
 	}
+	o := a.Eng.Obs()
 	for a.res.Decisions = 0; a.res.Decisions < a.cfg.MaxDecisions && !a.Eng.Halted(); a.res.Decisions++ {
+		var d0 time.Time
+		if o != nil {
+			d0 = time.Now()
+		}
 		if err := a.elaborate(); err != nil {
 			return nil, err
 		}
 		if a.Eng.Halted() {
+			if o != nil {
+				a.observeDecision(d0, "elaborate-halt")
+			}
 			break
 		}
 		changed, err := a.decide()
 		if err != nil {
 			return nil, err
+		}
+		if o != nil {
+			a.observeDecision(d0, "decision")
 		}
 		if !changed {
 			break
@@ -500,6 +512,15 @@ func (a *Agent) signature(id value.Sym) string {
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, "&")
+}
+
+// observeDecision emits one decision-cycle span on the control lane and
+// bumps the decision counter. Only called when the observer is enabled.
+func (a *Agent) observeDecision(start time.Time, name string) {
+	o := a.Eng.Obs()
+	o.Counter("decision_cycles_total").Inc()
+	o.Tracer().Complete(0, 0, fmt.Sprintf("%s-%d", name, a.res.Decisions+1), "decision",
+		start, time.Since(start), map[string]any{"goal-depth": len(a.goals), "elab-cycles": a.res.ElabCycles})
 }
 
 // MatchConfig exposes the engine's runtime configuration (for experiments).

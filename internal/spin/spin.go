@@ -60,6 +60,26 @@ func (l *Lock) Stats() (spins, acquires uint64) {
 	return l.spins.Load(), l.acquires.Load()
 }
 
+// Counts is a point-in-time snapshot of a lock's (or lock group's)
+// contention counters; the observability layer flushes deltas between
+// snapshots into its metrics registry once per match cycle, so the
+// hot-path counters stay plain atomics.
+type Counts struct {
+	Spins    uint64
+	Acquires uint64
+}
+
+// Snapshot returns the lock's current counters as a Counts.
+func (l *Lock) Snapshot() Counts {
+	s, a := l.Stats()
+	return Counts{Spins: s, Acquires: a}
+}
+
+// Sub returns the counter deltas since prev.
+func (c Counts) Sub(prev Counts) Counts {
+	return Counts{Spins: c.Spins - prev.Spins, Acquires: c.Acquires - prev.Acquires}
+}
+
 // ResetStats zeroes the contention counters (lock state is untouched).
 func (l *Lock) ResetStats() {
 	l.spins.Store(0)

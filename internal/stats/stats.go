@@ -55,6 +55,35 @@ func (h *Histogram) Bins() []Bin {
 	return out
 }
 
+// Percentile approximates the p'th percentile (0 < p <= 100) of the
+// recorded values: the bin containing the p-quantile observation is found
+// by cumulative count, then linearly interpolated. Returns 0 when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := p / 100 * float64(h.n)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	bins := h.Bins()
+	for _, b := range bins {
+		if cum+float64(b.Count) >= target {
+			frac := (target - cum) / float64(b.Count)
+			return float64(b.Lo) + frac*float64(h.BinWidth)
+		}
+		cum += float64(b.Count)
+	}
+	last := bins[len(bins)-1]
+	return float64(last.Lo + h.BinWidth)
+}
+
+// Percentiles returns the (p50, p90, p99) percentiles.
+func (h *Histogram) Percentiles() (p50, p90, p99 float64) {
+	return h.Percentile(50), h.Percentile(90), h.Percentile(99)
+}
+
 // PercentAtOrAbove returns the share of values >= v.
 func (h *Histogram) PercentAtOrAbove(v int) float64 {
 	if h.n == 0 {

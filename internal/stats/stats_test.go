@@ -133,3 +133,82 @@ func TestPlotRendering(t *testing.T) {
 		t.Fatalf("empty plot wrong")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	h := NewHistogram(10)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	// Uniform 1..100 in width-10 bins: percentiles interpolate inside the
+	// bin holding the p-quantile observation.
+	cases := []struct {
+		p      float64
+		lo, hi float64
+	}{
+		{50, 40, 60},
+		{90, 80, 100},
+		{99, 90, 110},
+		{100, 90, 110},
+	}
+	for _, c := range cases {
+		got := h.Percentile(c.p)
+		if got < c.lo || got > c.hi {
+			t.Fatalf("Percentile(%g) = %g, want in [%g, %g]", c.p, got, c.lo, c.hi)
+		}
+	}
+	p50, p90, p99 := h.Percentiles()
+	if !(p50 < p90 && p90 <= p99) {
+		t.Fatalf("percentiles not ordered: %g %g %g", p50, p90, p99)
+	}
+}
+
+func TestPercentileSingleBin(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 4; i++ {
+		h.Add(5)
+	}
+	for _, p := range []float64{1, 50, 99} {
+		got := h.Percentile(p)
+		if got < 0 || got > 10 {
+			t.Fatalf("Percentile(%g) = %g, want within the only bin [0,10]", p, got)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Percentile(50) != 0 {
+		t.Fatalf("empty percentile nonzero")
+	}
+	p50, p90, p99 := h.Percentiles()
+	if p50 != 0 || p90 != 0 || p99 != 0 {
+		t.Fatalf("empty percentiles nonzero")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	check := func(vals []int) bool {
+		h := NewHistogram(7)
+		for _, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			h.Add(v % 1000)
+		}
+		if h.N() == 0 {
+			return true
+		}
+		prev := 0.0
+		for p := 5.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
