@@ -32,8 +32,8 @@ func main() {
 	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
 	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
 	decisions := flag.Int("decisions", 400, "decision-cycle bound")
-	dtrace := flag.Bool("dtrace", false, "print decision-level trace")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+	dtrace := flag.Bool("dtrace", false, "print decision-level trace (formerly -trace)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing); BREAKING: was the bool now named -dtrace")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
 	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()

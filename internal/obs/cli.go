@@ -5,11 +5,17 @@ import (
 	"os"
 )
 
+// liveTraceLimit bounds the tracer when it only feeds the live
+// /trace/last-cycle endpoint (no -trace file): long-running serves stay at
+// a fixed memory footprint instead of accumulating one event per task.
+const liveTraceLimit = 1 << 16
+
 // Setup builds an Observer from the common CLI flag values: a Chrome-trace
 // output path (-trace), a Prometheus-text output path (-metrics), and a
 // diagnostics listen address (-listen). When all three are empty it returns
 // a nil Observer — callers pass it straight into the engine config and
-// every hook stays a no-op.
+// every hook stays a no-op. The tracer is only attached when a trace sink
+// exists (-trace or -listen); -metrics alone collects no events.
 //
 // The returned flush function writes the output files and shuts down the
 // server; call it once after the run (it is non-nil even when disabled).
@@ -17,7 +23,13 @@ func Setup(tracePath, metricsPath, listen string) (*Observer, func() error, erro
 	if tracePath == "" && metricsPath == "" && listen == "" {
 		return nil, func() error { return nil }, nil
 	}
-	o := New()
+	o := &Observer{Reg: NewRegistry()}
+	if tracePath != "" || listen != "" {
+		o.Trc = NewTracer()
+		if tracePath == "" {
+			o.Trc.SetLimit(liveTraceLimit)
+		}
+	}
 	var srv *Server
 	if listen != "" {
 		s, err := Serve(listen, o.Reg, o.Trc)

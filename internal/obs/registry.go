@@ -212,43 +212,51 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 }
 
 // WriteText writes the registry in the Prometheus text exposition format,
-// metrics sorted by name.
+// metrics sorted by name. Metric pointers are captured while holding the
+// registry lock (metrics may be lazily created mid-scrape by concurrent
+// code paths); values are then read outside the lock via their atomics.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
+	type counter struct {
+		name string
+		c    *Counter
+	}
+	type gauge struct {
+		name string
+		g    *Gauge
+	}
 	type hist struct {
 		name string
 		h    *Histogram
 	}
-	counters := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		counters = append(counters, name)
+	r.mu.Lock()
+	counters := make([]counter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, counter{name, c})
 	}
-	gauges := make([]string, 0, len(r.gauges))
-	for name := range r.gauges {
-		gauges = append(gauges, name)
+	gauges := make([]gauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, gauge{name, g})
 	}
 	hists := make([]hist, 0, len(r.hists))
 	for name, h := range r.hists {
 		hists = append(hists, hist{name, h})
 	}
-	cv := func(name string) uint64 { return r.counters[name].Value() }
-	gv := func(name string) float64 { return r.gauges[name].Value() }
 	r.mu.Unlock()
 
-	sort.Strings(counters)
-	sort.Strings(gauges)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
-	for _, name := range counters {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, cv(name)); err != nil {
+	for _, cc := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", cc.name, cc.name, cc.c.Value()); err != nil {
 			return err
 		}
 	}
-	for _, name := range gauges {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(gv(name))); err != nil {
+	for _, gg := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", gg.name, gg.name, formatFloat(gg.g.Value())); err != nil {
 			return err
 		}
 	}
@@ -256,16 +264,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hh.name); err != nil {
 			return err
 		}
+		// Snapshot every bucket up front and derive _count from the
+		// snapshot, so _count always equals the +Inf cumulative bucket even
+		// while Observe runs concurrently (a Prometheus invariant). _sum is
+		// read separately and may lag the buckets by in-flight observations.
+		counts := make([]uint64, len(hh.h.counts))
+		for i := range hh.h.counts {
+			counts[i] = hh.h.counts[i].Load()
+		}
+		sum := hh.h.Sum()
 		cum := uint64(0)
 		for i, b := range hh.h.bounds {
-			cum += hh.h.counts[i].Load()
+			cum += counts[i]
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hh.name, formatFloat(b), cum); err != nil {
 				return err
 			}
 		}
-		cum += hh.h.counts[len(hh.h.bounds)].Load()
+		cum += counts[len(hh.h.bounds)]
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-			hh.name, cum, hh.name, formatFloat(hh.h.Sum()), hh.name, hh.h.Count()); err != nil {
+			hh.name, cum, hh.name, formatFloat(sum), hh.name, cum); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -115,29 +116,40 @@ func TestExpBuckets(t *testing.T) {
 	}
 }
 
-// TestRegistryConcurrency hammers every metric type from many goroutines;
-// run under -race this is the registry's thread-safety proof.
+// TestRegistryConcurrency hammers every metric type from many goroutines
+// while a scraper runs WriteText; run under -race this is the registry's
+// thread-safety proof. Crucially the writers also create fresh metric
+// names on every iteration — metrics are lazily registered mid-run (e.g.
+// chunks_built_total appears at first chunk), so the scraper must tolerate
+// map inserts concurrent with exposition.
 func TestRegistryConcurrency(t *testing.T) {
 	r := NewRegistry()
 	const workers = 8
 	const iters = 2000
+	start := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			<-start
 			for i := 0; i < iters; i++ {
 				r.Counter("c").Inc()
 				r.Gauge("g").Add(1)
 				r.Histogram("h", 10, 100).Observe(float64(i % 200))
+				// Lazily create a brand-new name on every iteration so map
+				// inserts keep happening while the scraper is reading.
+				r.Counter(fmt.Sprintf("lazy_%d_%d", w, i)).Inc()
 			}
-		}()
+		}(w)
 	}
-	// Concurrent reader: exposition must be safe while writers run.
+	// Concurrent reader: exposition must be safe while writers run and
+	// while new metrics are being registered.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < 50; i++ {
+		<-start
+		for i := 0; i < 200; i++ {
 			var sb strings.Builder
 			if err := r.WriteText(&sb); err != nil {
 				t.Error(err)
@@ -145,6 +157,7 @@ func TestRegistryConcurrency(t *testing.T) {
 			}
 		}
 	}()
+	close(start)
 	wg.Wait()
 	if got := r.Counter("c").Value(); got != workers*iters {
 		t.Fatalf("counter = %d, want %d", got, workers*iters)
@@ -155,4 +168,38 @@ func TestRegistryConcurrency(t *testing.T) {
 	if got := r.Histogram("h").Count(); got != workers*iters {
 		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
 	}
+}
+
+// TestHistogramExpositionInvariant checks that a scrape taken while
+// Observe runs concurrently still satisfies the Prometheus histogram
+// invariant: _count equals the +Inf cumulative bucket.
+func TestHistogramExpositionInvariant(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			h.Observe(float64(i % 20))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count uint64
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if v, ok := strings.CutPrefix(line, `lat_bucket{le="+Inf"} `); ok {
+				fmt.Sscanf(v, "%d", &inf)
+			}
+			if v, ok := strings.CutPrefix(line, "lat_count "); ok {
+				fmt.Sscanf(v, "%d", &count)
+			}
+		}
+		if count != inf {
+			t.Fatalf("scrape %d: lat_count=%d != +Inf bucket=%d", i, count, inf)
+		}
+	}
+	<-done
 }

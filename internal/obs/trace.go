@@ -32,6 +32,11 @@ type Tracer struct {
 	// cycleMark indexes the first event of the current match cycle (the
 	// /trace/last-cycle window).
 	cycleMark int
+	// limit, when > 0, bounds the buffer: past the limit the oldest events
+	// are discarded (dropped counts them). Used when the tracer only feeds
+	// the live /trace/last-cycle endpoint, so long runs stay bounded.
+	limit   int
+	dropped uint64
 }
 
 // NewTracer returns an empty tracer with its epoch set to now.
@@ -44,9 +49,41 @@ func (t *Tracer) ts(at time.Time) float64 {
 	return float64(at.Sub(t.start)) / float64(time.Microsecond)
 }
 
+// SetLimit bounds the event buffer to at most n events; once exceeded, the
+// oldest events are discarded (n/2 at a time, to amortize the shift). A
+// limit of 0 restores the unbounded full-run buffer.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events have been discarded under SetLimit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 func (t *Tracer) emit(e Event) {
 	t.mu.Lock()
 	t.events = append(t.events, e)
+	if t.limit > 0 && len(t.events) > t.limit {
+		keep := t.limit / 2
+		drop := len(t.events) - keep
+		t.dropped += uint64(drop)
+		copy(t.events, t.events[drop:])
+		t.events = t.events[:keep]
+		if t.cycleMark -= drop; t.cycleMark < 0 {
+			t.cycleMark = 0
+		}
+	}
 	t.mu.Unlock()
 }
 

@@ -94,6 +94,90 @@ func TestTraceLastCycleWindow(t *testing.T) {
 	}
 }
 
+// TestTracerLimit checks the bounded-buffer mode: the event count stays at
+// or under the limit, the newest events survive, drops are counted, and
+// the last-cycle window stays valid after compaction.
+func TestTracerLimit(t *testing.T) {
+	trc := NewTracer()
+	trc.SetLimit(100)
+	for i := 0; i < 1000; i++ {
+		if i == 995 {
+			trc.MarkCycle()
+		}
+		trc.InstantTS(0, 1, "e", "task", float64(i), map[string]any{"i": i})
+	}
+	if n := trc.Len(); n > 100 {
+		t.Fatalf("Len = %d, want <= limit 100", n)
+	}
+	if trc.Dropped() == 0 {
+		t.Fatal("no events dropped despite overflow")
+	}
+	var buf bytes.Buffer
+	if err := trc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if last := events[len(events)-1]; last.Ts != 999 {
+		t.Fatalf("newest event ts = %g, want 999 (oldest must be dropped, not newest)", last.Ts)
+	}
+	buf.Reset()
+	if err := trc.WriteLastCycle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cyc []Event
+	if err := json.Unmarshal(buf.Bytes(), &cyc); err != nil {
+		t.Fatal(err)
+	}
+	if len(cyc) != 5 || cyc[0].Ts != 995 {
+		t.Fatalf("last-cycle window after compaction = %d events from ts %g, want 5 from 995", len(cyc), cyc[0].Ts)
+	}
+}
+
+// TestSetupTracerGating checks that the tracer only exists when a trace
+// sink is requested: -metrics alone must not accumulate events, and
+// -listen without -trace gets a bounded buffer.
+func TestSetupTracerGating(t *testing.T) {
+	dir := t.TempDir()
+	o, flush, err := Setup("", filepath.Join(dir, "m.txt"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Trc != nil {
+		t.Fatal("-metrics alone attached a tracer")
+	}
+	if h := o.MatchHooks(0); h == nil || h.Trc != nil {
+		t.Fatalf("hooks = %+v, want non-nil hooks with nil Trc", h)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	o, flush, err = Setup("", "", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Trc == nil || o.Trc.limit != liveTraceLimit {
+		t.Fatalf("-listen tracer limit = %v, want bounded at %d", o.Trc, liveTraceLimit)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	o, flush, err = Setup(filepath.Join(dir, "t.json"), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Trc == nil || o.Trc.limit != 0 {
+		t.Fatalf("-trace tracer = %+v, want unbounded full-run buffer", o.Trc)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNilTracer(t *testing.T) {
 	var trc *Tracer
 	trc.Complete(0, 0, "x", "", time.Now(), time.Millisecond, nil)
