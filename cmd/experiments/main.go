@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-exp all|t51|t52|t61|f61|f62|...|extras] [-out file]
+//	            [-policy single-queue|multi-queue|work-stealing]
 //	            [-trace out.json] [-metrics out.txt] [-listen :6060]
 package main
 
@@ -18,6 +19,7 @@ import (
 
 	"soarpsme/internal/exp"
 	"soarpsme/internal/obs"
+	"soarpsme/internal/prun"
 	"soarpsme/internal/stats"
 )
 
@@ -67,6 +69,7 @@ var runners = []runner{
 
 func main() {
 	which := flag.String("exp", "all", "experiment id (t51..f612, extras) or all")
+	policyName := flag.String("policy", "", "live-capture scheduling policy: single-queue, multi-queue, or work-stealing (figures replay captured traces in the simulator and are unaffected)")
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
@@ -94,6 +97,14 @@ func main() {
 
 	l := exp.NewLab()
 	l.SetObserver(observer)
+	if *policyName != "" {
+		p, err := prun.ParsePolicy(*policyName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		l.SetPolicy(p)
+	}
 	matched := false
 	for _, r := range runners {
 		if *which != "all" && !strings.EqualFold(*which, r.id) {

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	psme [-procs N] [-queues single|multi] [-noshare] [-stats]
-//	     [-trace out.json] [-metrics out.txt] [-listen :6060] program.ops
+//	psme [-procs N] [-policy single-queue|multi-queue|work-stealing]
+//	     [-noshare] [-stats] [-trace out.json] [-metrics out.txt]
+//	     [-listen :6060] program.ops
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 
 func main() {
 	procs := flag.Int("procs", 1, "number of match processes")
-	queues := flag.String("queues", "multi", "task queue policy: single or multi")
+	queues := flag.String("queues", "multi", "task queue policy: single or multi (superseded by -policy)")
+	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	noshare := flag.Bool("noshare", false, "disable two-input node sharing")
 	showStats := flag.Bool("stats", false, "print match statistics")
 	maxCycles := flag.Int("cycles", 10000, "recognize-act cycle bound")
@@ -52,6 +54,14 @@ func main() {
 	cfg.Policy = prun.MultiQueue
 	if *queues == "single" {
 		cfg.Policy = prun.SingleQueue
+	}
+	if *policy != "" {
+		p, err := prun.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psme:", err)
+			os.Exit(2)
+		}
+		cfg.Policy = p
 	}
 	cfg.Rete.ShareBeta = !*noshare
 	cfg.MaxCycles = *maxCycles
@@ -87,6 +97,13 @@ func main() {
 		fmt.Printf(";; hash-line lock: %d acquires, %d spins\n", acquires, spins)
 		qs, qa := e.RT.QueueLockStats()
 		fmt.Printf(";; task-queue lock: %d acquires, %d spins\n", qa, qs)
+		var fp, tp, stl int64
+		for _, cs := range e.CycleStats {
+			fp += cs.FailedPops
+			tp += cs.TermProbes
+			stl += cs.Steals
+		}
+		fmt.Printf(";; task-queue: %d failed pops, %d steals, %d quiescence probes\n", fp, stl, tp)
 	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "psme:", err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	soar [-task eight-puzzle|strips] [-procs N] [-chunking] [-after]
+//	     [-policy single-queue|multi-queue|work-stealing]
 //	     [-decisions N] [-dtrace] [-trace out.json] [-metrics out.txt]
 //	     [-listen :6060]
 package main
@@ -28,7 +29,8 @@ import (
 func main() {
 	taskName := flag.String("task", "eight-puzzle", "task: eight-puzzle, strips, hanoi, or blocks")
 	procs := flag.Int("procs", 1, "number of match processes")
-	queues := flag.String("queues", "multi", "task queue policy: single or multi")
+	queues := flag.String("queues", "multi", "task queue policy: single or multi (superseded by -policy)")
+	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
 	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
 	decisions := flag.Int("decisions", 400, "decision-cycle bound")
@@ -66,6 +68,14 @@ func main() {
 	cfg.Engine.Policy = prun.MultiQueue
 	if *queues == "single" {
 		cfg.Engine.Policy = prun.SingleQueue
+	}
+	if *policy != "" {
+		p, err := prun.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soar:", err)
+			os.Exit(2)
+		}
+		cfg.Engine.Policy = p
 	}
 	cfg.Engine.Obs = observer
 	if *dtrace {

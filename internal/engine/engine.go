@@ -71,6 +71,9 @@ type Engine struct {
 	// AfterCycle, when set, runs at the end of every ApplyAndMatch (the
 	// experiment harness harvests per-cycle hash-line access counts here).
 	AfterCycle func(cs *prun.CycleStats)
+	// OnApply, when set, receives each cycle's applied wme deltas just
+	// before the match runs (benchmarks capture replayable batches here).
+	OnApply func(deltas []wme.Delta)
 
 	// pendingExcise holds (excise ...) actions deferred to quiescence.
 	pendingExcise []string
@@ -217,6 +220,9 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 			fmt.Fprintf(e.cfg.Output, ";; %s %d %s\n", mark, d.WME.TimeTag, d.WME.Format(e.Tab, e.Reg))
 		}
 	}
+	if e.OnApply != nil {
+		e.OnApply(applied)
+	}
 	var start time.Time
 	if e.obs != nil {
 		e.obs.Tracer().MarkCycle()
@@ -230,7 +236,7 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 		e.mCycleSecs.Observe(d.Seconds())
 		e.obs.Tracer().Complete(0, 0, "match-cycle", "cycle", start, d, map[string]any{
 			"tasks": cs.Tasks, "wme-changes": len(applied), "modeled-us": cs.TotalCost,
-			"failed-pops": cs.FailedPops, "steals": cs.Steals,
+			"failed-pops": cs.FailedPops, "term-probes": cs.TermProbes, "steals": cs.Steals,
 		})
 		e.flushContention()
 	}

@@ -273,10 +273,14 @@ func DiagnoseTable(l *Lab) *stats.Table {
 		t.AddRow(fmt.Sprintf("(+%d more)", len(diags)-max), "", "", "", "", "", "")
 	}
 	// The live runtime's own queue diagnostics for the whole capture — the
-	// counters prun records but the harness previously dropped.
+	// counters prun records but the harness previously dropped. FailedPops
+	// excludes quiescence-detection probes (one per worker per cycle, now
+	// counted separately), which used to inflate this number by exactly one
+	// per sequential capture cycle.
 	t.AddRow("(live run)", "", "",
 		fmt.Sprintf("%d", c.FailedPops),
 		fmt.Sprintf("%d", c.Steals),
-		"runtime totals", "failed pops / steals observed by prun across all cycles")
+		"runtime totals",
+		fmt.Sprintf("failed pops / steals observed by prun across all cycles (%d quiescence probes)", c.TermProbes))
 	return t
 }

@@ -36,9 +36,11 @@ type Capture struct {
 	TasksPerCycle []int
 	Tasks         int
 	TotalCost     int64
-	// FailedPops/Steals are the live runtime's queue diagnostics summed
-	// over all cycles (§6.1; surfaced by -exp diagnose).
+	// FailedPops/TermProbes/Steals are the live runtime's queue diagnostics
+	// summed over all cycles (§6.1; surfaced by -exp diagnose). FailedPops
+	// excludes quiescence-detection probes, which land in TermProbes.
 	FailedPops int64
+	TermProbes int64
 	Steals     int64
 	// BucketAccesses holds per-line left-token access counts per cycle
 	// (Figure 6-2's contention measure).
@@ -68,6 +70,7 @@ func (c *Capture) harvest(e *engine.Engine) {
 		c.Tasks += cs.Tasks
 		c.TotalCost += cs.TotalCost
 		c.FailedPops += cs.FailedPops
+		c.TermProbes += cs.TermProbes
 		c.Steals += cs.Steals
 	}
 	for _, cs := range e.UpdateStats {
@@ -77,6 +80,7 @@ func (c *Capture) harvest(e *engine.Engine) {
 		c.Tasks += cs.Tasks
 		c.TotalCost += cs.TotalCost
 		c.FailedPops += cs.FailedPops
+		c.TermProbes += cs.TermProbes
 		c.Steals += cs.Steals
 	}
 	jt := codegen.NewJumptable()
@@ -129,23 +133,31 @@ func (m Mode) String() string {
 
 // Lab lazily captures and caches workload runs.
 type Lab struct {
-	cache map[string]*Capture
-	opts  rete.Options
-	obs   *obs.Observer
+	cache  map[string]*Capture
+	opts   rete.Options
+	obs    *obs.Observer
+	policy prun.Policy
 }
 
 // NewLab returns an empty lab with default network options.
 func NewLab() *Lab {
-	return &Lab{cache: map[string]*Capture{}, opts: rete.DefaultOptions()}
+	return &Lab{cache: map[string]*Capture{}, opts: rete.DefaultOptions(), policy: engine.DefaultConfig().Policy}
 }
 
 // SetObserver attaches an observability handle to every engine the lab
 // creates from now on (live /metrics while experiments run).
 func (l *Lab) SetObserver(o *obs.Observer) { l.obs = o }
 
+// SetPolicy selects the scheduling policy of the live capture engines
+// (cmd/experiments -policy). The captures stay sequential (one process),
+// so the task traces — and every simulator-replayed figure — are
+// unaffected; only the live runtime's own queue diagnostics change.
+func (l *Lab) SetPolicy(p prun.Policy) { l.policy = p }
+
 func (l *Lab) engCfg() engine.Config {
 	cfg := engine.DefaultConfig()
 	cfg.Processes = 1 // sequential capture: deterministic traces
+	cfg.Policy = l.policy
 	cfg.CaptureTrace = true
 	cfg.Rete = l.opts
 	cfg.Obs = l.obs

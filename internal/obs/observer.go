@@ -55,9 +55,15 @@ type MatchHooks struct {
 	Tasks *Counter
 	// Steals counts pops from another process's queue (queue_steals_total).
 	Steals *Counter
-	// FailedPops counts pop attempts that found every queue empty
-	// (queue_failed_pops_total).
+	// FailedPops counts pop attempts that found every queue empty while
+	// tasks were still pending (queue_failed_pops_total) — genuine
+	// idleness, the paper's §6.1 metric.
 	FailedPops *Counter
+	// TermProbes counts quiescence-detection probes: failed pops observed
+	// with zero pending tasks, one per worker per cycle
+	// (queue_term_probes_total). Counted apart from FailedPops so
+	// termination detection can't skew the contention figures.
+	TermProbes *Counter
 	// TaskCost is the modeled per-task cost distribution in µs
 	// (match_task_cost_us).
 	TaskCost *Histogram
@@ -78,6 +84,7 @@ func (o *Observer) MatchHooks(pid int) *MatchHooks {
 		Tasks:      o.Counter("match_tasks_total"),
 		Steals:     o.Counter("queue_steals_total"),
 		FailedPops: o.Counter("queue_failed_pops_total"),
+		TermProbes: o.Counter("queue_term_probes_total"),
 		TaskCost:   o.Histogram("match_task_cost_us", ExpBuckets(100, 2, 10)...),
 		Trc:        o.Trc,
 		Pid:        pid,

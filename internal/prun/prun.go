@@ -5,15 +5,23 @@
 // with cycle-stealing (§6.1/Figure 6-4) — counts lock contention and failed
 // pop operations, and can capture the task-dependency trace of each cycle
 // for the multiprocessor simulator.
+//
+// A third policy, WorkStealing, is not a paper artifact: it is the
+// ROADMAP's "fast as the hardware allows" scaling path — per-worker
+// Chase-Lev lock-free deques (internal/deque) with rotating victim
+// selection, pending-counter termination, and per-worker task free lists
+// for a zero-allocation steady-state hot path.
 package prun
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"soarpsme/internal/deque"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/rete"
 	"soarpsme/internal/spin"
@@ -24,17 +32,37 @@ import (
 type Policy uint8
 
 // SingleQueue is one shared queue (Figure 6-1); MultiQueue gives each match
-// process its own queue with stealing from the others (Figure 6-4).
+// process its own queue with stealing from the others (Figure 6-4). Both
+// use the paper's counted spin-locks. WorkStealing gives each process a
+// lock-free Chase-Lev deque (owner LIFO, thief FIFO) — the modern runtime,
+// kept separate so the reproduction paths stay paper-faithful.
 const (
 	SingleQueue Policy = iota
 	MultiQueue
+	WorkStealing
 )
 
 func (p Policy) String() string {
-	if p == SingleQueue {
+	switch p {
+	case SingleQueue:
 		return "single-queue"
+	case WorkStealing:
+		return "work-stealing"
 	}
 	return "multi-queue"
+}
+
+// ParsePolicy parses a policy name as accepted by the CLIs' -policy flag.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "single", "single-queue":
+		return SingleQueue, nil
+	case "multi", "multi-queue":
+		return MultiQueue, nil
+	case "ws", "work-stealing", "worksteal":
+		return WorkStealing, nil
+	}
+	return 0, fmt.Errorf("prun: unknown policy %q (want single-queue, multi-queue, or work-stealing)", s)
 }
 
 // Config configures the runtime.
@@ -57,11 +85,20 @@ type TaskRec struct {
 
 // CycleStats summarizes one match cycle.
 type CycleStats struct {
-	Tasks      int
-	TotalCost  int64 // summed modeled task cost (sequential work, µs)
+	Tasks     int
+	TotalCost int64 // summed modeled task cost (sequential work, µs)
+	// FailedPops counts pop attempts that found every queue empty while
+	// tasks were still pending — genuine idleness/contention (§6.1). Pops
+	// that fail because the cycle is over are counted as TermProbes.
 	FailedPops int64
+	// TermProbes counts quiescence-detection probes: a failed pop (or
+	// failed steal round) observed with zero pending tasks. Exactly one
+	// per worker per cycle — previously these were miscounted as failed
+	// pops, inflating the paper's §6.1 metric by at least Processes per
+	// cycle.
+	TermProbes int64
 	// Steals counts tasks popped from another process's queue (multi-queue
-	// cycle-stealing, §6.1).
+	// cycle-stealing, §6.1, and the WorkStealing policy's thief path).
 	Steals int64
 	Trace  []TaskRec
 }
@@ -71,13 +108,18 @@ type Runtime struct {
 	nw  *rete.Network
 	cfg Config
 
+	// queues backs the SingleQueue/MultiQueue spin-lock policies; deques
+	// and free back the WorkStealing policy.
 	queues  []*taskQueue
+	deques  []*deque.Deque[rete.Task]
+	free    [][]*rete.Task
 	pending atomic.Int64
 	seq     atomic.Int64
 	// minNodeID, when nonzero, drops activations of older nodes — the
 	// run-time update filter (paper §5.2).
 	minNodeID  atomic.Uint32
 	failedPops atomic.Int64
+	termProbes atomic.Int64
 	steals     atomic.Int64
 	rrInject   atomic.Int64
 
@@ -99,13 +141,22 @@ func New(nw *rete.Network, cfg Config) *Runtime {
 	if cfg.Processes < 1 {
 		cfg.Processes = 1
 	}
+	rt := &Runtime{nw: nw, cfg: cfg}
 	nq := 1
-	if cfg.Policy == MultiQueue {
+	if cfg.Policy != SingleQueue {
 		nq = cfg.Processes
 	}
-	rt := &Runtime{nw: nw, cfg: cfg, queues: make([]*taskQueue, nq)}
-	for i := range rt.queues {
-		rt.queues[i] = &taskQueue{}
+	if cfg.Policy == WorkStealing {
+		rt.deques = make([]*deque.Deque[rete.Task], nq)
+		for i := range rt.deques {
+			rt.deques[i] = deque.New[rete.Task](0)
+		}
+		rt.free = make([][]*rete.Task, nq)
+	} else {
+		rt.queues = make([]*taskQueue, nq)
+		for i := range rt.queues {
+			rt.queues[i] = &taskQueue{}
+		}
 	}
 	return rt
 }
@@ -119,12 +170,18 @@ func (rt *Runtime) SetUpdateFilter(firstNew rete.NodeID) {
 	rt.minNodeID.Store(uint32(firstNew))
 }
 
+// filtered reports whether the update filter drops activations of node id.
+func (rt *Runtime) filtered(id rete.NodeID) bool {
+	min := rt.minNodeID.Load()
+	return min != 0 && uint32(id) < min
+}
+
 // SetObserver attaches (non-nil) or detaches (nil) match instrumentation.
 // Must be called while no cycle is running.
 func (rt *Runtime) SetObserver(h *obs.MatchHooks) { rt.obs = h }
 
-// sched is the per-worker scheduler handed to rete.Exec; worker w pushes
-// onto its own queue under MultiQueue.
+// sched is the per-worker scheduler handed to rete.Exec under the
+// spin-lock policies; worker w pushes onto its own queue under MultiQueue.
 type sched struct {
 	rt *Runtime
 	q  *taskQueue
@@ -133,7 +190,7 @@ type sched struct {
 // Push enqueues a child activation.
 func (s sched) Push(t *rete.Task) {
 	rt := s.rt
-	if min := rt.minNodeID.Load(); min != 0 && uint32(t.Node.ID) < min {
+	if rt.filtered(t.Node.ID) {
 		return
 	}
 	t.Seq = rt.seq.Add(1)
@@ -144,10 +201,88 @@ func (s sched) Push(t *rete.Task) {
 	q.lock.Unlock()
 }
 
-// injectSched spreads root tasks round-robin over all queues.
+// wsSched is the per-worker scheduler of the WorkStealing policy: it pushes
+// onto the worker's own lock-free deque and recycles executed tasks through
+// a per-worker free list (rete.Exec obtains child tasks via NewTask, so
+// update-filtered activations never allocate).
+type wsSched struct {
+	rt   *Runtime
+	d    *deque.Deque[rete.Task]
+	free []*rete.Task
+}
+
+// freeListCap bounds each worker's task free list; beyond it, executed
+// tasks are left to the garbage collector. Sized to absorb a large cycle's
+// root-task injection (the injector draws on worker 0's list), at ~64 B per
+// idle task.
+const freeListCap = 2048
+
+// NewTask implements rete.TaskSource: it returns a recycled (or fresh)
+// task for an activation of node n, or nil when the update filter drops n.
+func (s *wsSched) NewTask(n *rete.BetaNode) *rete.Task {
+	if s.rt.filtered(n.ID) {
+		return nil
+	}
+	if k := len(s.free); k > 0 {
+		t := s.free[k-1]
+		s.free = s.free[:k-1]
+		return t
+	}
+	return new(rete.Task)
+}
+
+// Push enqueues a child activation on the owner's deque.
+func (s *wsSched) Push(t *rete.Task) {
+	rt := s.rt
+	if rt.filtered(t.Node.ID) {
+		// Injected and seeded tasks don't pass through NewTask; the
+		// filter still applies to them.
+		return
+	}
+	t.Seq = rt.seq.Add(1)
+	rt.pending.Add(1)
+	s.d.PushBottom(t)
+}
+
+// recycle returns an executed task to the free list. The task must no
+// longer be reachable from any queue (it was just executed by this worker).
+func (s *wsSched) recycle(t *rete.Task) {
+	if len(s.free) < freeListCap {
+		s.free = append(s.free, t)
+	}
+}
+
+// injectSched spreads root tasks round-robin over the spin-lock queues.
 func (rt *Runtime) injectSched() sched {
-	i := rt.rrInject.Add(1)
-	return sched{rt: rt, q: rt.queues[int(i)%len(rt.queues)]}
+	i := int(rt.rrInject.Add(1))
+	return sched{rt: rt, q: rt.queues[i%len(rt.queues)]}
+}
+
+// beginInject returns a cycle-scoped injector for the WorkStealing policy
+// (nil otherwise). Injection runs before the match processes start, so the
+// injector may push onto any deque and may borrow worker 0's free list;
+// endInject returns the list before the workers launch.
+func (rt *Runtime) beginInject() *wsSched {
+	if rt.cfg.Policy != WorkStealing {
+		return nil
+	}
+	inj := &wsSched{rt: rt, free: rt.free[0]}
+	rt.free[0] = nil
+	return inj
+}
+
+func (rt *Runtime) endInject(inj *wsSched) {
+	if inj != nil {
+		rt.free[0] = inj.free
+		inj.free = nil
+	}
+}
+
+// rotate advances the injector's round-robin deque.
+func (inj *wsSched) rotate() {
+	rt := inj.rt
+	i := int(rt.rrInject.Add(1))
+	inj.d = rt.deques[i%len(rt.deques)]
 }
 
 // pop removes the most recent task from q (LIFO, like PSM-E's stack
@@ -169,17 +304,30 @@ func (q *taskQueue) pop() *rete.Task {
 // quiescence. Per the paper's measurement methodology (§6), all wme changes
 // are applied before match begins.
 func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
-	rt.failedPops.Store(0)
-	rt.steals.Store(0)
-	if rt.cfg.CaptureTrace {
-		rt.trace = rt.trace[:0]
-	}
+	rt.resetCycleCounters()
+	inj := rt.beginInject()
 	for _, d := range deltas {
+		if inj != nil {
+			inj.rotate()
+			rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
+				t := inj.NewTask(n)
+				if t == nil {
+					return
+				}
+				*t = rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: w}
+				inj.Push(t)
+			})
+			continue
+		}
 		s := rt.injectSched()
 		rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
+			if rt.filtered(n.ID) {
+				return
+			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: w})
 		})
 	}
+	rt.endInject(inj)
 	return rt.runToQuiescence()
 }
 
@@ -187,21 +335,126 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 // replay) plus full-WM right replay, then runs to quiescence. The update
 // filter must already be engaged.
 func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
+	rt.resetCycleCounters()
+	inj := rt.beginInject()
+	for _, t := range seeds {
+		if inj != nil {
+			inj.rotate()
+			inj.Push(t)
+			continue
+		}
+		rt.injectSched().Push(t)
+	}
+	for _, w := range all {
+		if inj != nil {
+			inj.rotate()
+			rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
+				t := inj.NewTask(n)
+				if t == nil {
+					return
+				}
+				*t = rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww}
+				inj.Push(t)
+			})
+			continue
+		}
+		s := rt.injectSched()
+		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
+			if rt.filtered(n.ID) {
+				return
+			}
+			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
+		})
+	}
+	rt.endInject(inj)
+	return rt.runToQuiescence()
+}
+
+func (rt *Runtime) resetCycleCounters() {
 	rt.failedPops.Store(0)
+	rt.termProbes.Store(0)
 	rt.steals.Store(0)
 	if rt.cfg.CaptureTrace {
 		rt.trace = rt.trace[:0]
 	}
-	for _, t := range seeds {
-		rt.injectSched().Push(t)
+}
+
+// worker carries one match process's per-cycle bookkeeping; counters are
+// local and folded into the runtime totals once, at worker exit.
+type worker struct {
+	rt      *Runtime
+	id      int
+	h       *obs.MatchHooks
+	tracing bool
+	local   []TaskRec
+	tasks   int64
+	cost    int64
+}
+
+// exec runs one task and records its statistics and trace spans.
+func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
+	var start time.Time
+	if w.tracing {
+		start = time.Now()
 	}
-	for _, w := range all {
-		s := rt.injectSched()
-		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
-			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
-		})
+	cost := w.rt.nw.Exec(t, s)
+	t.Cost = cost
+	w.tasks++
+	w.cost += cost
+	if h := w.h; h != nil {
+		h.Tasks.Inc()
+		h.TaskCost.Observe(float64(cost))
+		if w.tracing {
+			args := map[string]any{"node": int(t.Node.ID), "seq": t.Seq, "cost-us": cost}
+			if stolen {
+				args["stolen"] = true
+			}
+			h.Trc.Complete(h.Pid, w.id+1, fmt.Sprintf("%v#%d", t.Node.Kind, t.Node.ID), "task", start, time.Since(start), args)
+		}
 	}
-	return rt.runToQuiescence()
+	if w.rt.cfg.CaptureTrace {
+		w.local = append(w.local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
+	}
+}
+
+// flush folds the worker's local statistics into the cycle totals.
+func (w *worker) flush(tasks, totalCost *atomic.Int64) {
+	tasks.Add(w.tasks)
+	totalCost.Add(w.cost)
+	if len(w.local) > 0 {
+		w.rt.traceMu.Lock()
+		w.rt.trace = append(w.rt.trace, w.local...)
+		w.rt.traceMu.Unlock()
+	}
+}
+
+// quiesced handles a fully failed pop/steal round: it reports true when
+// the cycle is over (a quiescence probe, counted separately), and
+// otherwise counts a failed pop — genuine idleness while work is pending —
+// and yields.
+func (w *worker) quiesced() bool {
+	rt := w.rt
+	if rt.pending.Load() == 0 {
+		rt.termProbes.Add(1)
+		if w.h != nil {
+			w.h.TermProbes.Inc()
+		}
+		return true
+	}
+	rt.failedPops.Add(1)
+	if w.h != nil {
+		w.h.FailedPops.Inc()
+	}
+	runtime.Gosched()
+	return false
+}
+
+// noteSteal counts one successful steal.
+func (w *worker) noteSteal() {
+	w.rt.steals.Add(1)
+	if w.h != nil {
+		w.h.Steals.Inc()
+	}
 }
 
 func (rt *Runtime) runToQuiescence() CycleStats {
@@ -211,77 +464,20 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 		totalCost atomic.Int64
 	)
 	workers := rt.cfg.Processes
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			own := rt.queues[id%len(rt.queues)]
-			mySched := sched{rt: rt, q: own}
-			h := rt.obs
-			tracing := h != nil && h.Trc != nil
-			var local []TaskRec
-			for {
-				t := own.pop()
-				stolen := false
-				if t == nil && len(rt.queues) > 1 {
-					for i := 1; i < len(rt.queues) && t == nil; i++ {
-						t = rt.queues[(id+i)%len(rt.queues)].pop()
-					}
-					stolen = t != nil
-				}
-				if t == nil {
-					rt.failedPops.Add(1)
-					if h != nil {
-						h.FailedPops.Inc()
-					}
-					if rt.pending.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
-				}
-				if stolen {
-					rt.steals.Add(1)
-					if h != nil {
-						h.Steals.Inc()
-					}
-				}
-				var start time.Time
-				if tracing {
-					start = time.Now()
-				}
-				cost := rt.nw.Exec(t, mySched)
-				t.Cost = cost
-				tasks.Add(1)
-				totalCost.Add(cost)
-				if h != nil {
-					h.Tasks.Inc()
-					h.TaskCost.Observe(float64(cost))
-					if tracing {
-						args := map[string]any{"node": int(t.Node.ID), "seq": t.Seq, "cost-us": cost}
-						if stolen {
-							args["stolen"] = true
-						}
-						h.Trc.Complete(h.Pid, id+1, fmt.Sprintf("%v#%d", t.Node.Kind, t.Node.ID), "task", start, time.Since(start), args)
-					}
-				}
-				if rt.cfg.CaptureTrace {
-					local = append(local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
-				}
-				rt.pending.Add(-1)
-			}
-			if len(local) > 0 {
-				rt.traceMu.Lock()
-				rt.trace = append(rt.trace, local...)
-				rt.traceMu.Unlock()
-			}
-		}(w)
+		if rt.cfg.Policy == WorkStealing {
+			go rt.runWorkStealing(i, &wg, &tasks, &totalCost)
+		} else {
+			go rt.runLockQueues(i, &wg, &tasks, &totalCost)
+		}
 	}
 	wg.Wait()
 	cs := CycleStats{
 		Tasks:      int(tasks.Load()),
 		TotalCost:  totalCost.Load(),
 		FailedPops: rt.failedPops.Load(),
+		TermProbes: rt.termProbes.Load(),
 		Steals:     rt.steals.Load(),
 	}
 	if rt.cfg.CaptureTrace {
@@ -290,8 +486,91 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 	return cs
 }
 
+// runLockQueues is one match process under the paper's counted-spinlock
+// policies (SingleQueue and MultiQueue with cycle-stealing).
+func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *atomic.Int64) {
+	defer wg.Done()
+	own := rt.queues[id%len(rt.queues)]
+	mySched := sched{rt: rt, q: own}
+	h := rt.obs
+	w := worker{rt: rt, id: id, h: h, tracing: h != nil && h.Trc != nil}
+	nq := len(rt.queues)
+	rot := 0
+	for {
+		t := own.pop()
+		stolen := false
+		if t == nil && nq > 1 {
+			// Rotate the starting victim per scan (deterministically,
+			// from a per-worker counter): a fixed id+1 start concentrates
+			// steals on the adjacent queue.
+			for k := 0; k < nq-1 && t == nil; k++ {
+				v := (id + 1 + (rot+k)%(nq-1)) % nq
+				t = rt.queues[v].pop()
+			}
+			rot++
+			stolen = t != nil
+		}
+		if t == nil {
+			if w.quiesced() {
+				break
+			}
+			continue
+		}
+		if stolen {
+			w.noteSteal()
+		}
+		w.exec(t, mySched, stolen)
+		rt.pending.Add(-1)
+	}
+	w.flush(tasks, totalCost)
+}
+
+// runWorkStealing is one match process under the WorkStealing policy:
+// lock-free owner pops with rotating-victim steals, pending-counter
+// termination confirmed by a fully failed steal round, and task recycling
+// through the worker's free list (persisted across cycles on the runtime).
+func (rt *Runtime) runWorkStealing(id int, wg *sync.WaitGroup, tasks, totalCost *atomic.Int64) {
+	defer wg.Done()
+	own := rt.deques[id]
+	ws := &wsSched{rt: rt, d: own, free: rt.free[id]}
+	h := rt.obs
+	w := worker{rt: rt, id: id, h: h, tracing: h != nil && h.Trc != nil}
+	nq := len(rt.deques)
+	rot := 0
+	for {
+		t := own.PopBottom()
+		stolen := false
+		if t == nil && nq > 1 {
+			for k := 0; k < nq-1 && t == nil; k++ {
+				v := (id + 1 + (rot+k)%(nq-1)) % nq
+				t, _ = rt.deques[v].Steal()
+			}
+			rot++
+			stolen = t != nil
+		}
+		if t == nil {
+			// The failed steal round above is the termination protocol's
+			// confirmation scan: only after probing every queue empty do
+			// we consult the pending counter.
+			if w.quiesced() {
+				break
+			}
+			continue
+		}
+		if stolen {
+			w.noteSteal()
+		}
+		w.exec(t, ws, stolen)
+		rt.pending.Add(-1)
+		ws.recycle(t)
+	}
+	rt.free[id] = ws.free
+	w.flush(tasks, totalCost)
+}
+
 // QueueLockStats sums (spins, acquires) over the task-queue locks — the
-// paper's spins/task contention measure (Figure 6-3).
+// paper's spins/task contention measure (Figure 6-3). Always zero under
+// the lock-free WorkStealing policy.
 func (rt *Runtime) QueueLockStats() (spins, acquires uint64) {
 	for _, q := range rt.queues {
 		s, a := q.lock.Stats()

@@ -131,7 +131,7 @@ func TestParallelEquivalenceAcrossConfigs(t *testing.T) {
 		return cs.keys()
 	}()
 	for _, procs := range []int{2, 3, 5, 8, 13} {
-		for _, pol := range []Policy{SingleQueue, MultiQueue} {
+		for _, pol := range []Policy{SingleQueue, MultiQueue, WorkStealing} {
 			nw, cs, ws := buildNet(t)
 			rt := New(nw, Config{Processes: procs, Policy: pol})
 			rt.RunCycle(deltas(ws))
@@ -253,7 +253,7 @@ func TestUpdateFilterDropsOldNodes(t *testing.T) {
 }
 
 func TestPolicyString(t *testing.T) {
-	if SingleQueue.String() != "single-queue" || MultiQueue.String() != "multi-queue" {
+	if SingleQueue.String() != "single-queue" || MultiQueue.String() != "multi-queue" || WorkStealing.String() != "work-stealing" {
 		t.Fatalf("Policy.String wrong")
 	}
 }

@@ -1,0 +1,195 @@
+package prun
+
+import (
+	"fmt"
+	"testing"
+
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/wme"
+)
+
+// allPolicies covers the two paper-faithful spin-lock policies and the
+// lock-free work-stealing runtime.
+var allPolicies = []Policy{SingleQueue, MultiQueue, WorkStealing}
+
+// stressProcs spans the paper's range: sequential, mid, and the full 13
+// processes of the Encore Multimax runs.
+var stressProcs = []int{1, 4, 13}
+
+// oracle runs the workload single-threaded and returns the reference
+// instantiations and task count. With one process there is no contention
+// and — after the quiescence-accounting fix — no failed pops: the only
+// failed pop a lone worker can see is the one that detects termination,
+// which is counted as a TermProbe instead.
+func oracle(t *testing.T) (keys []string, tasks int) {
+	t.Helper()
+	nw, cs, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 1, Policy: SingleQueue})
+	st := rt.RunCycle(deltas(ws))
+	if st.FailedPops != 0 {
+		t.Fatalf("single-threaded oracle saw %d failed pops (termination probes leaking into contention)", st.FailedPops)
+	}
+	if st.Steals != 0 {
+		t.Fatalf("single-threaded oracle saw %d steals", st.Steals)
+	}
+	if st.TermProbes != 1 {
+		t.Fatalf("single-threaded oracle saw %d termination probes, want 1", st.TermProbes)
+	}
+	return cs.keys(), st.Tasks
+}
+
+// TestQuiescenceStress asserts, across every policy × process count, that
+// a cycle terminates exactly at quiescence: no lost tasks and no premature
+// termination (the conflict set matches the single-threaded oracle, and a
+// drain cycle empties every memory), with the steal/failed-pop/term-probe
+// counters obeying their oracle values. At Processes=1 all three policies
+// execute the identical LIFO order, so the task count must equal the
+// oracle's exactly; at higher counts the negated condition makes child-task
+// counts schedule-dependent, and the conflict set is the invariant. Run
+// under -race (CI) and with GOMAXPROCS=1 (CI leg) to catch
+// Gosched-dependent livelocks.
+func TestQuiescenceStress(t *testing.T) {
+	refKeys, refTasks := oracle(t)
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	for _, pol := range allPolicies {
+		for _, procs := range stressProcs {
+			t.Run(fmt.Sprintf("%v/procs=%d", pol, procs), func(t *testing.T) {
+				for trial := 0; trial < trials; trial++ {
+					nw, cs, ws := buildNet(t)
+					rt := New(nw, Config{Processes: procs, Policy: pol})
+					st := rt.RunCycle(deltas(ws))
+					if st.Tasks == 0 {
+						t.Fatalf("trial %d: no tasks executed", trial)
+					}
+					if procs == 1 && st.Tasks != refTasks {
+						t.Fatalf("trial %d: sequential run executed %d tasks, oracle %d", trial, st.Tasks, refTasks)
+					}
+					// No premature termination, no lost tasks: the full
+					// conflict set built.
+					if got := cs.keys(); fmt.Sprint(got) != fmt.Sprint(refKeys) {
+						t.Fatalf("trial %d: conflict set diverged:\n got %v\nwant %v", trial, got, refKeys)
+					}
+					// Counter oracles. Every worker detects quiescence
+					// exactly once per cycle.
+					if st.TermProbes != int64(procs) {
+						t.Fatalf("trial %d: %d termination probes, want %d (one per worker)", trial, st.TermProbes, procs)
+					}
+					if procs == 1 {
+						if st.FailedPops != 0 {
+							t.Fatalf("trial %d: lone worker counted %d failed pops", trial, st.FailedPops)
+						}
+						if st.Steals != 0 {
+							t.Fatalf("trial %d: lone worker counted %d steals", trial, st.Steals)
+						}
+					}
+					if pol == SingleQueue && st.Steals != 0 {
+						t.Fatalf("trial %d: single queue counted %d steals", trial, st.Steals)
+					}
+					// Drain: removing everything must leave no residue and
+					// still terminate (the remove cycle re-exercises
+					// quiescence detection on a shrinking task population).
+					var dels []wme.Delta
+					for _, w := range ws {
+						dels = append(dels, wme.Delta{Op: wme.Remove, WME: w})
+					}
+					st = rt.RunCycle(dels)
+					if st.TermProbes != int64(procs) {
+						t.Fatalf("trial %d (drain): %d termination probes, want %d", trial, st.TermProbes, procs)
+					}
+					if got := cs.keys(); len(got) != 0 {
+						t.Fatalf("trial %d: conflict set not empty after drain: %v", trial, got)
+					}
+					if l, r := nw.Mem.Entries(); l != 0 || r != 0 {
+						t.Fatalf("trial %d: memories not empty: %d,%d", trial, l, r)
+					}
+					if n := nw.Mem.Tombstones(); n != 0 {
+						t.Fatalf("trial %d: %d tombstones", trial, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkStealingSeededUpdate runs the §5.2 state-update cycle under the
+// work-stealing policy: the update filter plus NewTask's
+// filter-before-allocate must drop exactly the old-node activations.
+func TestWorkStealingSeededUpdate(t *testing.T) {
+	nw, cs, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 4, Policy: WorkStealing, CaptureTrace: true})
+	rt.RunCycle(deltas(ws))
+	before := len(cs.keys())
+
+	ast, err := ops5.ParseProduction(`(p seeded-ws (a ^k <k>) (c ^k <k>) --> (make o9))`, nw.Tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := nw.AddProduction(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetUpdateFilter(info.FirstNewID)
+	st := rt.RunSeeded(nw.SeedUpdateTasks(info), ws)
+	rt.SetUpdateFilter(0)
+	if st.Tasks == 0 {
+		t.Fatalf("seeded run executed nothing")
+	}
+	if len(st.Trace) != st.Tasks {
+		t.Fatalf("trace len %d != tasks %d", len(st.Trace), st.Tasks)
+	}
+	if got := len(cs.keys()); got != before+10 {
+		t.Fatalf("CS after seeded update = %d, want %d", got, before+10)
+	}
+	if n := nw.Mem.Tombstones(); n != 0 {
+		t.Fatalf("tombstones: %d", n)
+	}
+}
+
+// TestWorkStealingFreeListRecycles asserts the per-worker free lists
+// survive across cycles and stay bounded.
+func TestWorkStealingFreeListRecycles(t *testing.T) {
+	nw, _, ws := buildNet(t)
+	rt := New(nw, Config{Processes: 2, Policy: WorkStealing})
+	rt.RunCycle(deltas(ws))
+	freed := 0
+	for _, f := range rt.free {
+		freed += len(f)
+	}
+	if freed == 0 {
+		t.Fatalf("no tasks recycled into the free lists")
+	}
+	var dels []wme.Delta
+	for _, w := range ws {
+		dels = append(dels, wme.Delta{Op: wme.Remove, WME: w})
+	}
+	rt.RunCycle(dels)
+	for i, f := range rt.free {
+		if len(f) > freeListCap {
+			t.Fatalf("worker %d free list over cap: %d", i, len(f))
+		}
+	}
+}
+
+// TestPolicyParse covers the CLI policy-name parser.
+func TestPolicyParse(t *testing.T) {
+	cases := map[string]Policy{
+		"single": SingleQueue, "single-queue": SingleQueue,
+		"multi": MultiQueue, "multi-queue": MultiQueue,
+		"ws": WorkStealing, "work-stealing": WorkStealing, "WORK-STEALING": WorkStealing,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatalf("ParsePolicy accepted bogus")
+	}
+	if WorkStealing.String() != "work-stealing" {
+		t.Fatalf("WorkStealing.String() = %q", WorkStealing.String())
+	}
+}

@@ -47,6 +47,16 @@ type Scheduler interface {
 	Push(t *Task)
 }
 
+// TaskSource is an optional Scheduler extension for zero-allocation
+// scheduling: NewTask returns a blank task to fill and Push — typically
+// recycled from a per-worker free list — or nil when the runtime's update
+// filter drops activations of node n, in which case Exec skips both the
+// allocation and the Push. Schedulers without a free list simply don't
+// implement it.
+type TaskSource interface {
+	NewTask(n *BetaNode) *Task
+}
+
 // Activation cost model, in simulated microseconds on the paper's 0.75-MIPS
 // NS32032. Calibrated so the mean task cost lands near the ~400 µs of
 // Table 6-1 on the three reproduced workloads.
@@ -65,14 +75,26 @@ func (nw *Network) Exec(t *Task, s Scheduler) int64 {
 	nw.Stats.Activations.Add(1)
 	var cost int64 = CostBetaBase
 	emitted := 0
+	src, _ := s.(TaskSource)
 	emit := func(from *BetaNode, tok *Token, op wme.Op) {
 		for _, c := range from.Children {
 			dir := DirLeft
 			if c.Kind == KindJoinBB && c.RightParent == from {
 				dir = DirRight
 			}
-			s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq})
+			// emitted counts filtered children too, keeping the modeled
+			// cost identical to the Push-then-drop schedulers.
 			emitted++
+			if src != nil {
+				ct := src.NewTask(c)
+				if ct == nil {
+					continue
+				}
+				*ct = Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq}
+				s.Push(ct)
+				continue
+			}
+			s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq})
 		}
 	}
 

@@ -9,7 +9,6 @@ package rete
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"soarpsme/internal/wme"
@@ -113,6 +112,9 @@ func (t *Token) Equal(o *Token) bool {
 	if t == nil || o == nil || t.N != o.N || t.hash != o.hash {
 		return false
 	}
+	if eq, ok := linearEqual(t, o); ok {
+		return eq
+	}
 	var ba, bb [24]cePair
 	a := t.appendPairs(ba[:0])
 	b := o.appendPairs(bb[:0])
@@ -129,13 +131,38 @@ func (t *Token) Equal(o *Token) bool {
 	return true
 }
 
-func sortPairs(p []cePair) {
-	sort.Slice(p, func(i, j int) bool {
-		if p[i].ce != p[j].ce {
-			return p[i].ce < p[j].ce
+// linearEqual compares two linear chains positionally, without allocating.
+// ok=false means the result is inconclusive — a pair token, or the same
+// bindings in a different chain order — and the caller must fall back to
+// the order-insensitive comparison. Equal chains are the overwhelmingly
+// common case: tokens under comparison come from the same join lineage.
+func linearEqual(a, b *Token) (eq, ok bool) {
+	for {
+		if a == b { // shared suffix (or both exhausted)
+			return true, true
 		}
-		return p[i].id < p[j].id
-	})
+		if a == nil || b == nil || a.L != nil || b.L != nil {
+			return false, false
+		}
+		if a.CE != b.CE || a.W != b.W {
+			return false, false
+		}
+		a, b = a.Parent, b.Parent
+	}
+}
+
+// sortPairs is an insertion sort: pair lists are bounded by a production's
+// CE count, and avoiding sort.Slice keeps the match hot path free of its
+// reflection allocations.
+func sortPairs(p []cePair) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0; j-- {
+			if p[j].ce > p[j-1].ce || (p[j].ce == p[j-1].ce && p[j].id >= p[j-1].id) {
+				break
+			}
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
 }
 
 // WMEs returns the token's wmes ordered by CE index (an OPS5 instantiation).
