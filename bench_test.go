@@ -44,7 +44,10 @@ func sharedLab() *exp.Lab {
 
 func BenchmarkTable5_1_ChunkSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tbl := exp.Table51(sharedLab())
+		tbl, err := exp.Table51(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tbl.Rows) != 3 {
 			b.Fatal("bad table")
 		}
@@ -53,7 +56,10 @@ func BenchmarkTable5_1_ChunkSizes(b *testing.B) {
 
 func BenchmarkTable5_2_ChunkCompileTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tbl := exp.Table52(sharedLab())
+		tbl, err := exp.Table52(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tbl.Rows) != 3 {
 			b.Fatal("bad table")
 		}
@@ -62,17 +68,23 @@ func BenchmarkTable5_2_ChunkCompileTime(b *testing.B) {
 
 func BenchmarkTable6_1_TaskGranularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tbl := exp.Table61(sharedLab())
+		tbl, err := exp.Table61(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tbl.Rows) != 3 {
 			b.Fatal("bad table")
 		}
 	}
 }
 
-func benchFigure(b *testing.B, f func(*exp.Lab) interface{ String() string }) {
+func benchFigure(b *testing.B, f func(*exp.Lab) (interface{ String() string }, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		out := f(sharedLab())
+		out, err := f(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if out.String() == "" {
 			b.Fatal("empty figure")
 		}
@@ -80,21 +92,24 @@ func benchFigure(b *testing.B, f func(*exp.Lab) interface{ String() string }) {
 }
 
 func BenchmarkFig6_1_SpeedupSingleQueue(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig61(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig61(l) })
 }
 
 func BenchmarkFig6_2_HashBucketContention(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig62(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig62(l) })
 }
 
 func BenchmarkFig6_3_QueueContention(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig63(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig63(l) })
 }
 
 func BenchmarkFig6_4_SpeedupMultiQueue(b *testing.B) {
 	var last float64
 	for i := 0; i < b.N; i++ {
-		f := exp.Fig64(sharedLab())
+		f, err := exp.Fig64(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		s := f.Series[2] // Cypress
 		last = s.Y[len(s.Y)-1]
 	}
@@ -102,33 +117,40 @@ func BenchmarkFig6_4_SpeedupMultiQueue(b *testing.B) {
 }
 
 func BenchmarkFig6_5_PerCycleSpeedups(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig65(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig65(l) })
 }
 
 func BenchmarkFig6_6_TasksInSystem(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig66(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig66(l) })
 }
 
 func BenchmarkFig6_7_LongChainProductions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if !strings.Contains(exp.Fig67(sharedLab()), "monitor") {
+		out, err := exp.Fig67(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "monitor") {
 			b.Fatal("bad figure")
 		}
 	}
 }
 
 func BenchmarkFig6_8_BilinearAblation(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig68(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig68(l) })
 }
 
 func BenchmarkFig6_9_UpdatePhaseSpeedups(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig69(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig69(l) })
 }
 
 func BenchmarkFig6_10_AfterChunkingSpeedups(b *testing.B) {
 	var ep float64
 	for i := 0; i < b.N; i++ {
-		f := exp.Fig610(sharedLab())
+		f, err := exp.Fig610(sharedLab())
+		if err != nil {
+			b.Fatal(err)
+		}
 		s := f.Series[0] // Eight-puzzle
 		ep = s.Y[len(s.Y)-1]
 	}
@@ -136,39 +158,39 @@ func BenchmarkFig6_10_AfterChunkingSpeedups(b *testing.B) {
 }
 
 func BenchmarkFig6_11_TasksPerCycleNoChunk(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig611(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig611(l) })
 }
 
 func BenchmarkFig6_12_TasksPerCycleAfterChunk(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Fig612(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Fig612(l) })
 }
 
 func BenchmarkAblationMemories(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationMemories(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.AblationMemories(l) })
 }
 
 func BenchmarkAblationSharing(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationSharing(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.AblationSharing(l) })
 }
 
 func BenchmarkAblationAsyncElaboration(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationAsync(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.AblationAsync(l) })
 }
 
 func BenchmarkDiagnostics(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.DiagnoseTable(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.DiagnoseTable(l) })
 }
 
 func BenchmarkAblationAdaptiveQueues(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.AblationAdaptiveQueues(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.AblationAdaptiveQueues(l) })
 }
 
 func BenchmarkLongRunChunking(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.LongRunChunking(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.LongRunChunking(l) })
 }
 
 func BenchmarkReproductionScorecard(b *testing.B) {
-	benchFigure(b, func(l *exp.Lab) interface{ String() string } { return exp.Summary(l) })
+	benchFigure(b, func(l *exp.Lab) (interface{ String() string }, error) { return exp.Summary(l) })
 }
 
 // BenchmarkBlocksWorldSolve runs the blocks world, whose operator

@@ -6,6 +6,7 @@
 //
 //	experiments [-exp all|t51|t52|t61|f61|f62|...|extras] [-out file]
 //	            [-policy single-queue|multi-queue|work-stealing]
+//	            [-fault-seed N] [-deadline 5s]
 //	            [-trace out.json] [-metrics out.txt] [-listen :6060]
 package main
 
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"soarpsme/internal/exp"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/stats"
@@ -26,45 +28,48 @@ import (
 type runner struct {
 	id   string
 	desc string
-	fn   func(*exp.Lab) string
+	fn   func(*exp.Lab) (string, error)
 }
 
 var plotFigures bool
 
-func str(f func(*exp.Lab) fmt.Stringer) func(*exp.Lab) string {
-	return func(l *exp.Lab) string {
-		v := f(l)
-		if fig, ok := v.(*stats.Figure); ok && plotFigures {
-			return fig.Plot(64, 18) + "\n" + fig.String()
+func str(f func(*exp.Lab) (fmt.Stringer, error)) func(*exp.Lab) (string, error) {
+	return func(l *exp.Lab) (string, error) {
+		v, err := f(l)
+		if err != nil {
+			return "", err
 		}
-		return v.String()
+		if fig, ok := v.(*stats.Figure); ok && plotFigures {
+			return fig.Plot(64, 18) + "\n" + fig.String(), nil
+		}
+		return v.String(), nil
 	}
 }
 
 var runners = []runner{
-	{"t51", "Table 5-1: CEs and code size per chunk", str(func(l *exp.Lab) fmt.Stringer { return exp.Table51(l) })},
-	{"t52", "Table 5-2: chunk compile time, shared vs unshared", str(func(l *exp.Lab) fmt.Stringer { return exp.Table52(l) })},
-	{"t61", "Table 6-1: task granularity", str(func(l *exp.Lab) fmt.Stringer { return exp.Table61(l) })},
-	{"f61", "Figure 6-1: speedups, single queue", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig61(l) })},
-	{"f62", "Figure 6-2: hash bucket contention", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig62(l) })},
-	{"f63", "Figure 6-3: task-queue contention", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig63(l) })},
-	{"f64", "Figure 6-4: speedups, multiple queues", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig64(l) })},
-	{"f65", "Figure 6-5: per-cycle speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig65(l) })},
-	{"f66", "Figure 6-6: tasks in system over time", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig66(l) })},
+	{"t51", "Table 5-1: CEs and code size per chunk", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Table51(l) })},
+	{"t52", "Table 5-2: chunk compile time, shared vs unshared", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Table52(l) })},
+	{"t61", "Table 6-1: task granularity", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Table61(l) })},
+	{"f61", "Figure 6-1: speedups, single queue", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig61(l) })},
+	{"f62", "Figure 6-2: hash bucket contention", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig62(l) })},
+	{"f63", "Figure 6-3: task-queue contention", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig63(l) })},
+	{"f64", "Figure 6-4: speedups, multiple queues", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig64(l) })},
+	{"f65", "Figure 6-5: per-cycle speedups", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig65(l) })},
+	{"f66", "Figure 6-6: tasks in system over time", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig66(l) })},
 	{"f67", "Figure 6-7: long-chain productions", exp.Fig67},
-	{"f68", "Figure 6-8: constrained bilinear networks", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig68(l) })},
-	{"f69", "Figure 6-9: update-phase speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig69(l) })},
-	{"f610", "Figure 6-10: after-chunking speedups", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig610(l) })},
-	{"f611", "Figure 6-11: tasks/cycle without chunking", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig611(l) })},
-	{"f612", "Figure 6-12: tasks/cycle after chunking", str(func(l *exp.Lab) fmt.Stringer { return exp.Fig612(l) })},
-	{"extras", "prose measurements (5.1, 6.3)", str(func(l *exp.Lab) fmt.Stringer { return exp.Extras(l) })},
-	{"abl-mem", "ablation: hashed vs linear memories (6.1)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationMemories(l) })},
-	{"abl-share", "ablation: node sharing (5.1)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationSharing(l) })},
-	{"abl-async", "future work: asynchronous elaboration (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationAsync(l) })},
-	{"abl-queues", "scheduling: per-cycle oracle queue counts (6.2)", str(func(l *exp.Lab) fmt.Stringer { return exp.AblationAdaptiveQueues(l) })},
-	{"diagnose", "diagnostics: causes of low-speedup cycles (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.DiagnoseTable(l) })},
-	{"longrun", "future work: chunking over long periods (7)", str(func(l *exp.Lab) fmt.Stringer { return exp.LongRunChunking(l) })},
-	{"summary", "reproduction scorecard", str(func(l *exp.Lab) fmt.Stringer { return exp.Summary(l) })},
+	{"f68", "Figure 6-8: constrained bilinear networks", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig68(l) })},
+	{"f69", "Figure 6-9: update-phase speedups", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig69(l) })},
+	{"f610", "Figure 6-10: after-chunking speedups", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig610(l) })},
+	{"f611", "Figure 6-11: tasks/cycle without chunking", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig611(l) })},
+	{"f612", "Figure 6-12: tasks/cycle after chunking", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Fig612(l) })},
+	{"extras", "prose measurements (5.1, 6.3)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Extras(l) })},
+	{"abl-mem", "ablation: hashed vs linear memories (6.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationMemories(l) })},
+	{"abl-share", "ablation: node sharing (5.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationSharing(l) })},
+	{"abl-async", "future work: asynchronous elaboration (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAsync(l) })},
+	{"abl-queues", "scheduling: per-cycle oracle queue counts (6.2)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAdaptiveQueues(l) })},
+	{"diagnose", "diagnostics: causes of low-speedup cycles (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.DiagnoseTable(l) })},
+	{"longrun", "future work: chunking over long periods (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.LongRunChunking(l) })},
+	{"summary", "reproduction scorecard", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Summary(l) })},
 }
 
 func main() {
@@ -72,6 +77,8 @@ func main() {
 	policyName := flag.String("policy", "", "live-capture scheduling policy: single-queue, multi-queue, or work-stealing (figures replay captured traces in the simulator and are unaffected)")
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the capture engines (0 = off); failed cycles recover via the serial fallback, so results are unchanged")
+	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline for the capture engines (0 = off)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
 	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof while experiments run (e.g. :6060)")
@@ -105,6 +112,10 @@ func main() {
 		}
 		l.SetPolicy(p)
 	}
+	if *faultSeed != 0 {
+		l.SetFault(fault.Seeded(*faultSeed, fault.DefaultRates()))
+	}
+	l.SetDeadline(*deadline)
 	matched := false
 	for _, r := range runners {
 		if *which != "all" && !strings.EqualFold(*which, r.id) {
@@ -112,7 +123,11 @@ func main() {
 		}
 		matched = true
 		start := time.Now()
-		text := r.fn(l)
+		text, err := r.fn(l)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(out, "==== %s (%s) ====\n%s\n", r.id, r.desc, text)
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.id, time.Since(start).Round(time.Millisecond))
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"soarpsme/internal/engine"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 )
@@ -31,6 +32,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
 	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof on this address (e.g. :6060)")
+	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the match workers (0 = off); failed cycles recover via the serial fallback")
+	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psme [flags] program.ops")
@@ -64,6 +67,10 @@ func main() {
 		cfg.Policy = p
 	}
 	cfg.Rete.ShareBeta = !*noshare
+	if *faultSeed != 0 {
+		cfg.Fault = fault.Seeded(*faultSeed, fault.DefaultRates())
+	}
+	cfg.Deadline = *deadline
 	cfg.MaxCycles = *maxCycles
 	cfg.Watch = *watch
 	cfg.Output = os.Stdout

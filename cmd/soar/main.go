@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"soarpsme/internal/engine"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/soar"
@@ -38,6 +39,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing); BREAKING: was the bool now named -dtrace")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
 	listen := flag.String("listen", "", "serve /metrics, /trace/last-cycle and /debug/pprof on this address (e.g. :6060)")
+	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the match workers (0 = off); failed cycles recover via the serial fallback")
+	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline (0 = off)")
 	flag.Parse()
 
 	mkTask := func() *soar.Task {
@@ -78,6 +81,10 @@ func main() {
 		cfg.Engine.Policy = p
 	}
 	cfg.Engine.Obs = observer
+	if *faultSeed != 0 {
+		cfg.Engine.Fault = fault.Seeded(*faultSeed, fault.DefaultRates())
+	}
+	cfg.Engine.Deadline = *deadline
 	if *dtrace {
 		cfg.Trace = os.Stderr
 	}

@@ -177,6 +177,146 @@ func (s *Set) Drain() (added, retracted []*Instantiation) {
 	return
 }
 
+// Mark is a journal position taken before a match cycle; if the cycle is
+// poisoned, BeginRecovery(mark) undoes the cycle's conflict-set effects.
+// Insert and Retract each append exactly one journal record, so the two
+// lengths identify every mutation made after the mark.
+type Mark struct {
+	added, retracted int
+}
+
+// Mark returns the current journal position.
+func (s *Set) Mark() Mark {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Mark{added: len(s.added), retracted: len(s.retracted)}
+}
+
+// Recovery is the in-progress state of a poisoned-cycle rollback, returned
+// by BeginRecovery and consumed by EndRecovery.
+type Recovery struct {
+	mark Mark
+	prev map[instKey][]*Instantiation // live set as of the mark
+}
+
+// BeginRecovery rolls the conflict set back to its state at m and prepares
+// it for a full serial replay of working memory. The poisoned cycle's
+// journal suffix is undone — retract records re-inserted first, then add
+// records removed, so an instantiation both added and retracted within the
+// cycle nets out absent — and the live set is parked in the returned
+// Recovery while an empty one accepts the replay's insertions. Refraction
+// entries cleared by a poisoned-cycle Retract cannot be restored; a
+// re-derived match may therefore fire again, which is OPS5's semantics for
+// any re-derivation.
+//
+// Between BeginRecovery and EndRecovery the set must receive P-node calls
+// only from the replay (single-threaded, at quiescence).
+func (s *Set) BeginRecovery(m Mark) *Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, in := range s.retracted[m.retracted:] {
+		k := instKey{in.Prod, in.Tok.Hash()}
+		s.insts[k] = append(s.insts[k], in)
+		s.size++
+	}
+	for _, in := range s.added[m.added:] {
+		k := instKey{in.Prod, in.Tok.Hash()}
+		list := s.insts[k]
+		for i, cand := range list {
+			if cand == in {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				s.size--
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(s.insts, k)
+		} else {
+			s.insts[k] = list
+		}
+	}
+	s.added = s.added[:m.added]
+	s.retracted = s.retracted[:m.retracted]
+	rec := &Recovery{mark: m, prev: s.insts}
+	s.insts = make(map[instKey][]*Instantiation, len(rec.prev))
+	s.size = 0
+	return rec
+}
+
+// EndRecovery reconciles the replay's insertions against the pre-cycle
+// live set so the next Drain reports exactly the cycle's true effect:
+//
+//   - a replayed match also present before the cycle keeps its original
+//     *Instantiation (pointer identity survives recovery) and produces no
+//     journal record;
+//   - a replayed match with no pre-cycle counterpart stays journalled as
+//     added — it is the cycle's genuine contribution;
+//   - a pre-cycle match the replay did not re-derive was genuinely
+//     retracted by the cycle's wme changes: it is journalled as retracted
+//     and its refraction entry cleared, exactly as a live Retract would.
+func (s *Set) EndRecovery(rec *Recovery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.added[:rec.mark.added]
+	for _, in := range s.added[rec.mark.added:] {
+		k := instKey{in.Prod, in.Tok.Hash()}
+		old := s.matchOut(rec.prev, k, in.Tok)
+		if old == nil {
+			kept = append(kept, in)
+			continue
+		}
+		// Seen before the cycle: restore the original object so holders of
+		// the old pointer stay coherent, and report nothing.
+		list := s.insts[k]
+		for i, cand := range list {
+			if cand == in {
+				list[i] = old
+				break
+			}
+		}
+	}
+	s.added = kept
+	for k, list := range rec.prev {
+		for _, in := range list {
+			// Not re-derived: the cycle retracted it.
+			s.retracted = append(s.retracted, in)
+			ref := s.fired[k]
+			for i, tok := range ref {
+				if tok.Equal(in.Tok) {
+					ref[i] = ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					break
+				}
+			}
+			if len(ref) == 0 {
+				delete(s.fired, k)
+			} else {
+				s.fired[k] = ref
+			}
+		}
+	}
+}
+
+// matchOut removes and returns the instantiation equal to t under key k in
+// m, or nil (caller holds s.mu).
+func (s *Set) matchOut(m map[instKey][]*Instantiation, k instKey, t *rete.Token) *Instantiation {
+	list := m[k]
+	for i, in := range list {
+		if in.Tok.Equal(t) {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			if len(list) == 0 {
+				delete(m, k)
+			} else {
+				m[k] = list
+			}
+			return in
+		}
+	}
+	return nil
+}
+
 // Select applies conflict resolution: refraction, then the strategy's
 // recency ordering, then specificity. It returns nil when no unfired
 // instantiation remains, and marks the winner as fired.

@@ -215,3 +215,137 @@ func TestRetractAbsentIsNoop(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+// recoveryEnv: two productions and four wmes for rollback tests.
+func recoveryEnv(t *testing.T) (*Set, *rete.Production, []*wme.WME) {
+	tab := value.NewTable()
+	p := mkProd(t, tab, `(p pr (c ^v 1) --> (halt))`)
+	return New(), p, []*wme.WME{nil, w(1), w(2), w(3), w(4)}
+}
+
+// TestRecoveryUndoesPoisonedCycle: a cycle that inserted and retracted is
+// rolled back; the replay re-derives the pre-cycle matches plus one new
+// one, and Drain reports exactly the cycle's true effect.
+func TestRecoveryUndoesPoisonedCycle(t *testing.T) {
+	s, p, ws := recoveryEnv(t)
+	a, b := tok(ws[1]), tok(ws[2])
+	s.Insert(p, a)
+	s.Insert(p, b)
+	s.Drain() // close the pre-cycle window
+	mark := s.Mark()
+
+	// Poisoned cycle: retracts a, inserts c — all to be undone.
+	s.Insert(p, tok(ws[3]))
+	s.Retract(p, tok(ws[1]))
+	rec := s.BeginRecovery(mark)
+	if s.Len() != 0 {
+		t.Fatalf("Len during recovery = %d, want 0", s.Len())
+	}
+
+	// Serial replay re-derives a and b (still matching) plus new d.
+	s.Insert(p, tok(ws[1]))
+	s.Insert(p, tok(ws[2]))
+	s.Insert(p, tok(ws[4]))
+	s.EndRecovery(rec)
+
+	if s.Len() != 3 {
+		t.Fatalf("Len after recovery = %d, want 3", s.Len())
+	}
+	added, retracted := s.Drain()
+	if len(added) != 1 || !added[0].Tok.Equal(tok(ws[4])) {
+		t.Fatalf("Drain added = %v, want just the d match", added)
+	}
+	if len(retracted) != 0 {
+		t.Fatalf("Drain retracted = %v, want none", retracted)
+	}
+}
+
+// TestRecoveryReportsTrueRetraction: a pre-cycle match the replay does not
+// re-derive is reported retracted exactly once.
+func TestRecoveryReportsTrueRetraction(t *testing.T) {
+	s, p, ws := recoveryEnv(t)
+	s.Insert(p, tok(ws[1]))
+	s.Insert(p, tok(ws[2]))
+	s.Drain()
+	mark := s.Mark()
+
+	s.Insert(p, tok(ws[3])) // poisoned-cycle insert, undone
+	rec := s.BeginRecovery(mark)
+	s.Insert(p, tok(ws[2])) // only b survives the cycle's wme changes
+	s.Insert(p, tok(ws[3])) // c genuinely derived by the cycle
+	s.EndRecovery(rec)
+
+	added, retracted := s.Drain()
+	if len(added) != 1 || !added[0].Tok.Equal(tok(ws[3])) {
+		t.Fatalf("Drain added = %v, want the c match", added)
+	}
+	if len(retracted) != 1 || !retracted[0].Tok.Equal(tok(ws[1])) {
+		t.Fatalf("Drain retracted = %v, want the a match", retracted)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestRecoveryPreservesPointerIdentity: a re-derived pre-cycle match keeps
+// its original *Instantiation, so holders of the old pointer stay coherent.
+func TestRecoveryPreservesPointerIdentity(t *testing.T) {
+	s, p, ws := recoveryEnv(t)
+	s.Insert(p, tok(ws[1]))
+	orig := s.All()[0]
+	s.Drain()
+	mark := s.Mark()
+	rec := s.BeginRecovery(mark)
+	s.Insert(p, tok(ws[1]))
+	s.EndRecovery(rec)
+	if all := s.All(); len(all) != 1 || all[0] != orig {
+		t.Fatalf("recovery replaced the original instantiation object")
+	}
+}
+
+// TestRecoveryAnnihilatesWindowTransient: a match added earlier in the same
+// Drain window and genuinely retracted by the recovered cycle must vanish
+// from Drain entirely (the add/retract pair annihilates by identity).
+func TestRecoveryAnnihilatesWindowTransient(t *testing.T) {
+	s, p, ws := recoveryEnv(t)
+	s.Insert(p, tok(ws[1])) // same window, before the cycle
+	mark := s.Mark()
+	s.Insert(p, tok(ws[2])) // poisoned work
+	rec := s.BeginRecovery(mark)
+	// Replay derives nothing: the cycle's wme changes killed both.
+	s.EndRecovery(rec)
+	added, retracted := s.Drain()
+	if len(added) != 0 || len(retracted) != 0 {
+		t.Fatalf("Drain = %v / %v, want empty (transient annihilation)", added, retracted)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestRecoveryRefraction: a re-derived fired match stays refracted; a match
+// the replay does not re-derive has its refraction cleared, so a later
+// re-derivation may fire again (OPS5 semantics).
+func TestRecoveryRefraction(t *testing.T) {
+	s, p, ws := recoveryEnv(t)
+	s.Insert(p, tok(ws[1]))
+	if s.Select(LEX) == nil {
+		t.Fatalf("nothing to fire")
+	}
+	mark := s.Mark()
+	rec := s.BeginRecovery(mark)
+	s.Insert(p, tok(ws[1])) // re-derived
+	s.EndRecovery(rec)
+	if got := s.Select(LEX); got != nil {
+		t.Fatalf("re-derived fired match selected again: %v", got)
+	}
+
+	// Second round: this time the replay does NOT re-derive it.
+	mark = s.Mark()
+	rec = s.BeginRecovery(mark)
+	s.EndRecovery(rec)
+	s.Insert(p, tok(ws[1])) // later genuine re-derivation
+	if s.Select(LEX) == nil {
+		t.Fatalf("refraction not cleared for retracted match")
+	}
+}

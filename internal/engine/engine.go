@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"soarpsme/internal/conflict"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
@@ -38,6 +39,14 @@ type Config struct {
 	// per-task metrics flow into its registry and spans into its tracer.
 	// Nil (the default) makes every hook a no-op.
 	Obs *obs.Observer
+	// Fault, when non-nil, injects scheduled faults into the match workers
+	// (the -fault-seed flag); failed cycles are recovered by the serial
+	// fallback, so results are unchanged.
+	Fault *fault.Injector
+	// Deadline bounds each parallel match cycle's wall-clock time (the
+	// -deadline flag); an expired cycle is poisoned and retried serially.
+	// Zero disables the watchdog.
+	Deadline time.Duration
 }
 
 // DefaultConfig returns a single-process, multi-queue, shared-network
@@ -91,6 +100,9 @@ type Engine struct {
 	mCycleSecs    *obs.Histogram
 	mSpliceSecs   *obs.Histogram
 	mUpdateTasks  *obs.Histogram
+	mCyclesFailed *obs.Counter
+	mCyclesRecov  *obs.Counter
+	mBadDeltas    *obs.Counter
 	lastQueue     spin.Counts
 	lastLine      spin.Counts
 	lastAccess    uint64
@@ -102,7 +114,13 @@ func New(cfg Config) *Engine {
 	reg := wme.NewRegistry()
 	cs := conflict.New()
 	nw := rete.NewNetwork(tab, reg, cs, cfg.Rete)
-	rt := prun.New(nw, prun.Config{Processes: cfg.Processes, Policy: cfg.Policy, CaptureTrace: cfg.CaptureTrace})
+	rt := prun.New(nw, prun.Config{
+		Processes:    cfg.Processes,
+		Policy:       cfg.Policy,
+		CaptureTrace: cfg.CaptureTrace,
+		Fault:        cfg.Fault,
+		Deadline:     cfg.Deadline,
+	})
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 10000
 	}
@@ -120,6 +138,9 @@ func New(cfg Config) *Engine {
 		e.mCycleSecs = o.Histogram("match_cycle_seconds")
 		e.mSpliceSecs = o.Histogram("rete_add_splice_seconds")
 		e.mUpdateTasks = o.Histogram("state_update_tasks", obs.ExpBuckets(1, 4, 10)...)
+		e.mCyclesFailed = o.Counter("match_cycles_failed_total")
+		e.mCyclesRecov = o.Counter("match_cycles_recovered_total")
+		e.mBadDeltas = o.Counter("wm_bad_deltas_total")
 		// The match workers render on tid lanes 1..P of trace pid 0.
 		o.Tracer().SetProcessName(0, "soarpsme match pipeline")
 		o.Tracer().SetThreadName(0, 0, "control")
@@ -200,10 +221,21 @@ func (e *Engine) LoadProgram(src string) error {
 // are applied — the paper's measurement methodology, §6).
 func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 	applied := deltas[:0:0]
+	var badDelta error
 	for _, d := range deltas {
 		switch d.Op {
 		case wme.Add:
-			e.WM.Insert(d.WME)
+			if err := e.WM.Insert(d.WME); err != nil {
+				// A rejected delta (duplicate insert) is dropped from the
+				// batch and surfaced as a cycle failure below: the serial
+				// fallback re-derives match state from the WM that actually
+				// resulted, so the engine degrades instead of crashing.
+				if badDelta == nil {
+					badDelta = err
+				}
+				e.mBadDeltas.Inc()
+				continue
+			}
 			applied = append(applied, d)
 		case wme.Remove:
 			if e.WM.Delete(d.WME) {
@@ -228,7 +260,15 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 		e.obs.Tracer().MarkCycle()
 		start = time.Now()
 	}
+	mark := e.CS.Mark()
 	cs := e.RT.RunCycle(applied)
+	if badDelta != nil && !cs.Failed {
+		cs.Failed = true
+		cs.Reason = "wme delta rejected: " + badDelta.Error()
+	}
+	if cs.Failed {
+		cs = e.recoverCycle(mark, cs)
+	}
 	if e.obs != nil {
 		d := time.Since(start)
 		e.mCycles.Inc()
@@ -245,6 +285,54 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 		e.AfterCycle(&e.CycleStats[len(e.CycleStats)-1])
 	}
 	return cs
+}
+
+// recoverCycle is the degradation path: a poisoned parallel cycle's partial
+// match state is discarded wholesale (fresh hash tables), the conflict set
+// is rolled back to its pre-cycle journal mark, and the whole of working
+// memory — which already reflects the cycle's wme changes — is replayed
+// serially. The replay re-derives exactly the match state a fault-free
+// cycle would have produced; EndRecovery then reconciles the conflict set
+// so the next Drain reports only the cycle's true effect. The returned
+// stats describe the replay, tagged Recovered with the original failure's
+// Reason and Panics preserved.
+func (e *Engine) recoverCycle(mark conflict.Mark, failed prun.CycleStats) prun.CycleStats {
+	e.mCyclesFailed.Inc()
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
+	}
+	e.NW.ResetMatchState()
+	rec := e.CS.BeginRecovery(mark)
+	cs := e.RT.ReplaySerial(e.WM.All())
+	e.CS.EndRecovery(rec)
+	e.mCyclesRecov.Inc()
+	if e.obs != nil {
+		e.obs.Tracer().Complete(0, 0, "serial-fallback", "recover", start, time.Since(start),
+			map[string]any{"reason": failed.Reason, "tasks": cs.Tasks})
+	}
+	cs.Failed = true
+	cs.Reason = failed.Reason
+	cs.Panics = failed.Panics
+	return cs
+}
+
+// AuditInvariants runs the full Rete invariant audit: the quiescent-state
+// checks of CheckInvariants, the network's memory-vs-WM cross-check
+// (rete.Audit), and the P-node-tokens-vs-conflict-set size comparison.
+// It must be called at quiescence; tests and the fault matrix run it after
+// recovered cycles to prove the fallback restored a consistent state.
+func (e *Engine) AuditInvariants() error {
+	if err := e.CheckInvariants(); err != nil {
+		return err
+	}
+	if errs := e.NW.Audit(e.WM); len(errs) > 0 {
+		return fmt.Errorf("engine: audit found %d violation(s), first: %w", len(errs), errs[0])
+	}
+	if live, cs := e.NW.LivePTokens(), e.CS.Len(); live != cs {
+		return fmt.Errorf("engine: %d live P-node tokens != %d conflict-set instantiations", live, cs)
+	}
+	return nil
 }
 
 // RunOPS5 executes the recognize-act cycle until quiescence, halt, or the
@@ -530,7 +618,14 @@ func (e *Engine) AddProductionRuntime(ast *ops5.Production) (*AddResult, error) 
 		if e.obs != nil {
 			ustart = time.Now()
 		}
+		mark := e.CS.Mark()
 		res.Update = e.RT.RunSeeded(seeds, e.WM.All())
+		if res.Update.Failed {
+			// A poisoned state-update cycle: clear the filter and rebuild
+			// everything — old and new productions alike — serially.
+			e.RT.SetUpdateFilter(0)
+			res.Update = e.recoverCycle(mark, res.Update)
+		}
 		if e.obs != nil {
 			e.mUpdateTasks.Observe(float64(res.Update.Tasks))
 			e.obs.Tracer().Complete(0, 0, "state-update:"+prod.Name, "update", ustart, time.Since(ustart),

@@ -17,7 +17,7 @@ import (
 // vs linear lists ("Hashing the contents of the associated memory nodes,
 // instead of storing them in linear lists, reduces the number of
 // comparisons performed during a node-activation").
-func AblationMemories(l *Lab) *stats.Table {
+func AblationMemories(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Ablation (§6.1): hashed token memories vs linear lists (Strips, without chunking)",
 		Headers: []string{"Memories", "Join comparisons", "Uniproc time (s)", "Tasks"},
@@ -25,7 +25,10 @@ func AblationMemories(l *Lab) *stats.Table {
 	for _, linear := range []bool{false, true} {
 		lab := NewLab()
 		lab.opts.LinearMemories = linear
-		c := lab.SoarTask("strips-mem", strips.Default(), NoChunk)
+		c, err := lab.SoarTask("strips-mem", strips.Default(), NoChunk)
+		if err != nil {
+			return nil, err
+		}
 		comparisons := c.eng.NW.Stats.Comparisons.Load()
 		one := sim.MultiCycle(c.Traces, sim.Config{Processes: 1, QueueOp: QueueOp})
 		name := "hashed (per-line locks)"
@@ -37,7 +40,7 @@ func AblationMemories(l *Lab) *stats.Table {
 			fmt.Sprintf("%.1f", float64(one.Makespan)/1e6),
 			fmt.Sprintf("%d", c.Tasks))
 	}
-	return t
+	return t, nil
 }
 
 // AblationAsync estimates the gain of the paper's first future-work item
@@ -45,12 +48,16 @@ func AblationMemories(l *Lab) *stats.Table {
 // decision boundaries. The estimate merges each run's per-cycle task DAGs
 // into one DAG with the cycle barriers removed — an upper bound, since
 // real cross-cycle data dependencies would restore some ordering.
-func AblationAsync(l *Lab) *stats.Table {
+func AblationAsync(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Future work (§7): asynchronous elaboration — speedup at 11 processes with cycle barriers removed (upper bound)",
 		Headers: []string{"Task", "Synchronous (Fig 6-4)", "Asynchronous (merged DAG)"},
 	}
-	for i, c := range l.Workloads(NoChunk) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		syncSp := sim.RunSpeedup(c.Traces, 11, sim.MultiQueue, QueueOp)
 		var merged []prun.TaskRec
 		for _, tr := range c.Traces {
@@ -61,13 +68,13 @@ func AblationAsync(l *Lab) *stats.Table {
 			fmt.Sprintf("%.2f", syncSp),
 			fmt.Sprintf("%.2f", asyncSp))
 	}
-	return t
+	return t, nil
 }
 
 // AblationSharing reruns the Strips workload with two-input-node sharing
 // disabled and reports the network growth (§5.1: "20-30% loss due to an
 // unshared network").
-func AblationSharing(l *Lab) *stats.Table {
+func AblationSharing(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Ablation (§5.1): two-input-node sharing (Strips during-chunking network)",
 		Headers: []string{"Sharing", "Two-input nodes", "New nodes per chunk"},
@@ -75,7 +82,10 @@ func AblationSharing(l *Lab) *stats.Table {
 	for _, share := range []bool{true, false} {
 		lab := NewLab()
 		lab.opts.ShareBeta = share
-		c := lab.SoarTask("strips-share", strips.Default(), DuringChunk)
+		c, err := lab.SoarTask("strips-share", strips.Default(), DuringChunk)
+		if err != nil {
+			return nil, err
+		}
 		perChunk := 0.0
 		if n := len(c.ChunkCEs); n > 0 {
 			total := 0
@@ -92,7 +102,7 @@ func AblationSharing(l *Lab) *stats.Table {
 			fmt.Sprintf("%d", c.eng.NW.TwoInputNodes()),
 			fmt.Sprintf("%.1f", perChunk))
 	}
-	return t
+	return t, nil
 }
 
 // AblationAdaptiveQueues quantifies §6.2's scheduling observation: bursts
@@ -100,13 +110,17 @@ func AblationSharing(l *Lab) *stats.Table {
 // the best queue count per cycle (1, 2, 4, or one per process) — the gain
 // available to the adaptive switching the paper says is hard because
 // "detecting the end of a cycle is very difficult".
-func AblationAdaptiveQueues(l *Lab) *stats.Table {
+func AblationAdaptiveQueues(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Scheduling (§6.2): per-cycle oracle queue-count selection at 11 processes",
 		Headers: []string{"Task", "Multi-queue speedup", "Oracle speedup", "Oracle gain"},
 	}
 	counts := []int{1, 2, 4, 11}
-	for i, c := range l.Workloads(NoChunk) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		var uni, multi, oracle int64
 		for _, tr := range c.Traces {
 			uni += sim.Simulate(tr, sim.Config{Processes: 1, QueueOp: QueueOp}).Makespan
@@ -127,7 +141,7 @@ func AblationAdaptiveQueues(l *Lab) *stats.Table {
 			fmt.Sprintf("%.2f", os),
 			fmt.Sprintf("%.0f%%", 100*(os-ms)/ms))
 	}
-	return t
+	return t, nil
 }
 
 // LongRunChunking implements §7's "effects of chunking over long periods":
@@ -136,7 +150,7 @@ func AblationAdaptiveQueues(l *Lab) *stats.Table {
 // episode and the available parallelism grow — the regime where the paper
 // argues the 10-20-fold empirical parallelism bound of non-learning
 // production systems no longer applies (§6.3).
-func LongRunChunking(l *Lab) *stats.Table {
+func LongRunChunking(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Future work (§7): chunking over a sequence of trials (Eight-puzzle pool, 150-decision episodes)",
 		Headers: []string{"Trial", "Moves", "Match tasks", "Cumulative chunks", "2-input nodes", "Speedup @13"},
@@ -147,7 +161,10 @@ func LongRunChunking(l *Lab) *stats.Table {
 		key := fmt.Sprintf("longrun-%d", i)
 		task := eightpuzzle.Task(b)
 		// Seed with all chunks learned so far (freshly built + carried).
-		cap := lab.soarTaskSeeded(key, task, prev)
+		cap, err := lab.soarTaskSeeded(key, task, prev)
+		if err != nil {
+			return nil, err
+		}
 		cumulative := 0
 		for _, p := range cap.eng.NW.Productions() {
 			if isChunkName(p.Name) || strings.HasPrefix(p.Name, "xfer-") {
@@ -163,7 +180,7 @@ func LongRunChunking(l *Lab) *stats.Table {
 			fmt.Sprintf("%.2f", sim.RunSpeedup(cap.Traces, 13, sim.MultiQueue, QueueOp)))
 		prev = cap
 	}
-	return t
+	return t, nil
 }
 
 // Diagnosis is the diagnostic tool the paper proposes in §7: "to identify
@@ -248,12 +265,15 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 
 // DiagnoseTable renders the diagnosis of the Eight-puzzle during-chunking
 // run — the paper's own example of cycles with many tasks but low speedup.
-func DiagnoseTable(l *Lab) *stats.Table {
+func DiagnoseTable(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Diagnostics (§7): low-speedup cycles, Eight-puzzle during chunking (11 processes, speedup < 5)",
 		Headers: []string{"Tasks", "Speedup", "Critical path", "Failed pops", "Steals", "Cause", "Suggestion"},
 	}
-	c := l.EightPuzzle(DuringChunk)
+	c, err := l.EightPuzzle(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
 	diags := Diagnose(c, 11, 5)
 	max := 12
 	for i, d := range diags {
@@ -282,5 +302,5 @@ func DiagnoseTable(l *Lab) *stats.Table {
 		fmt.Sprintf("%d", c.Steals),
 		"runtime totals",
 		fmt.Sprintf("failed pops / steals observed by prun across all cycles (%d quiescence probes)", c.TermProbes))
-	return t
+	return t, nil
 }

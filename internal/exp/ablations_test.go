@@ -16,7 +16,10 @@ func cellInt(t *testing.T, s string) int {
 }
 
 func TestAblationMemoriesHashingWins(t *testing.T) {
-	tbl := AblationMemories(sharedLab)
+	tbl, err := AblationMemories(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -29,7 +32,10 @@ func TestAblationMemoriesHashingWins(t *testing.T) {
 }
 
 func TestAblationSharingReducesNodes(t *testing.T) {
-	tbl := AblationSharing(sharedLab)
+	tbl, err := AblationSharing(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	shared := cellInt(t, tbl.Rows[0][1])
 	unshared := cellInt(t, tbl.Rows[1][1])
 	if shared >= unshared {
@@ -38,7 +44,10 @@ func TestAblationSharingReducesNodes(t *testing.T) {
 }
 
 func TestAblationAsyncLiftsSpeedup(t *testing.T) {
-	tbl := AblationAsync(sharedLab)
+	tbl, err := AblationAsync(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tbl.Rows {
 		syncSp := parseF(t, row[1])
 		asyncSp := parseF(t, row[2])
@@ -49,7 +58,11 @@ func TestAblationAsyncLiftsSpeedup(t *testing.T) {
 }
 
 func TestDiagnoseFindsLongChains(t *testing.T) {
-	diags := Diagnose(sharedLab.EightPuzzle(DuringChunk), 11, 5)
+	c, err := sharedLab.EightPuzzle(DuringChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Diagnose(c, 11, 5)
 	if len(diags) == 0 {
 		t.Fatalf("no low-speedup cycles found")
 	}
@@ -72,13 +85,20 @@ func TestDiagnoseFindsLongChains(t *testing.T) {
 			break
 		}
 	}
-	if tbl := DiagnoseTable(sharedLab); len(tbl.Rows) == 0 {
+	tbl, err := DiagnoseTable(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
 		t.Fatalf("DiagnoseTable empty")
 	}
 }
 
 func TestLongRunChunkingGrows(t *testing.T) {
-	tbl := LongRunChunking(sharedLab)
+	tbl, err := LongRunChunking(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) < 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -101,7 +121,10 @@ func TestLongRunChunkingGrows(t *testing.T) {
 }
 
 func TestAblationAdaptiveQueuesOracleAtLeastMulti(t *testing.T) {
-	tbl := AblationAdaptiveQueues(sharedLab)
+	tbl, err := AblationAdaptiveQueues(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tbl.Rows {
 		if parseF(t, row[2]) < parseF(t, row[1])-0.01 {
 			t.Errorf("%s: oracle (%s) below always-multi (%s)", row[0], row[2], row[1])
@@ -110,7 +133,10 @@ func TestAblationAdaptiveQueuesOracleAtLeastMulti(t *testing.T) {
 }
 
 func TestSummaryAllShapesHold(t *testing.T) {
-	tbl := Summary(sharedLab)
+	tbl, err := Summary(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) < 9 {
 		t.Fatalf("scorecard too short: %d rows", len(tbl.Rows))
 	}

@@ -9,9 +9,11 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"soarpsme/internal/codegen"
 	"soarpsme/internal/engine"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
@@ -133,10 +135,12 @@ func (m Mode) String() string {
 
 // Lab lazily captures and caches workload runs.
 type Lab struct {
-	cache  map[string]*Capture
-	opts   rete.Options
-	obs    *obs.Observer
-	policy prun.Policy
+	cache    map[string]*Capture
+	opts     rete.Options
+	obs      *obs.Observer
+	policy   prun.Policy
+	fault    *fault.Injector
+	deadline time.Duration
 }
 
 // NewLab returns an empty lab with default network options.
@@ -154,6 +158,16 @@ func (l *Lab) SetObserver(o *obs.Observer) { l.obs = o }
 // unaffected; only the live runtime's own queue diagnostics change.
 func (l *Lab) SetPolicy(p prun.Policy) { l.policy = p }
 
+// SetFault injects a fault schedule into every engine the lab creates from
+// now on (cmd/experiments -fault-seed). Failed cycles recover through the
+// serial fallback, so the captured results stay byte-identical; the fault
+// counters land in /metrics.
+func (l *Lab) SetFault(in *fault.Injector) { l.fault = in }
+
+// SetDeadline arms the per-cycle quiescence watchdog on every engine the
+// lab creates from now on (cmd/experiments -deadline). Zero disables it.
+func (l *Lab) SetDeadline(d time.Duration) { l.deadline = d }
+
 func (l *Lab) engCfg() engine.Config {
 	cfg := engine.DefaultConfig()
 	cfg.Processes = 1 // sequential capture: deterministic traces
@@ -161,16 +175,18 @@ func (l *Lab) engCfg() engine.Config {
 	cfg.CaptureTrace = true
 	cfg.Rete = l.opts
 	cfg.Obs = l.obs
+	cfg.Fault = l.fault
+	cfg.Deadline = l.deadline
 	return cfg
 }
 
 // SoarTask captures a Soar task run in the given mode. For AfterChunk, the
 // chunks learned in a DuringChunk run of the same task are transferred
 // into a fresh agent before the run.
-func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) *Capture {
+func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) (*Capture, error) {
 	key := fmt.Sprintf("%s/%v/org%d", name, mode, l.opts.Organization)
 	if c, ok := l.cache[key]; ok {
-		return c
+		return c, nil
 	}
 	cfg := soar.Config{
 		Engine:       l.engCfg(),
@@ -179,18 +195,21 @@ func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) *Capture {
 	}
 	a, err := soar.New(cfg, task)
 	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", name, err))
+		return nil, fmt.Errorf("exp: %s: %w", name, err)
 	}
 	cap := &Capture{Name: key, agent: a, eng: a.Eng}
 	a.Eng.AfterCycle = func(*prun.CycleStats) {
 		cap.BucketAccesses = append(cap.BucketAccesses, a.Eng.NW.Mem.HarvestAccessCounts()...)
 	}
 	if mode == AfterChunk {
-		during := l.SoarTask(name, task, DuringChunk)
+		during, err := l.SoarTask(name, task, DuringChunk)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range during.eng.NW.Productions() {
 			if strings.HasPrefix(p.Name, "chunk-") {
 				if _, err := a.Eng.AddProductionRuntime(p.AST); err != nil {
-					panic(fmt.Sprintf("exp: transfer %s: %v", p.Name, err))
+					return nil, fmt.Errorf("exp: transfer %s: %w", p.Name, err)
 				}
 			}
 		}
@@ -200,22 +219,22 @@ func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) *Capture {
 	}
 	res, err := a.Run()
 	if err != nil {
-		panic(fmt.Sprintf("exp: %s run: %v", name, err))
+		return nil, fmt.Errorf("exp: %s run: %w", name, err)
 	}
 	cap.Halted = res.Halted
 	cap.Decisions = res.Decisions
 	cap.harvest(a.Eng)
 	l.cache[key] = cap
-	return cap
+	return cap, nil
 }
 
 // soarTaskSeeded runs a during-chunking capture seeded with every chunk
 // (including transferred ones) present in a previous capture's network —
 // the long-run learning regime of §7.
-func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Capture {
+func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) (*Capture, error) {
 	key := fmt.Sprintf("%s/seeded", name)
 	if c, ok := l.cache[key]; ok {
-		return c
+		return c, nil
 	}
 	cfg := soar.Config{
 		Engine:       l.engCfg(),
@@ -224,7 +243,7 @@ func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Captu
 	}
 	a, err := soar.New(cfg, task)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("exp: %s: %w", name, err)
 	}
 	cap := &Capture{Name: key, agent: a, eng: a.Eng}
 	if prev != nil {
@@ -236,7 +255,7 @@ func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Captu
 				// Rename so the new agent's own chunk counter can't collide.
 				clone.Name = fmt.Sprintf("xfer-%d-%s", n, name)
 				if _, err := a.Eng.AddProductionRuntime(&clone); err != nil {
-					panic(err)
+					return nil, fmt.Errorf("exp: %s seed %s: %w", name, clone.Name, err)
 				}
 			}
 		}
@@ -244,38 +263,38 @@ func (l *Lab) soarTaskSeeded(name string, task *soar.Task, prev *Capture) *Captu
 	}
 	res, err := a.Run()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("exp: %s run: %w", name, err)
 	}
 	cap.Halted = res.Halted
 	cap.Decisions = res.Decisions
 	cap.Moves = res.OperatorDecisions
 	cap.harvest(a.Eng)
 	l.cache[key] = cap
-	return cap
+	return cap, nil
 }
 
 // EightPuzzle captures the Eight-Puzzle-Soar run.
-func (l *Lab) EightPuzzle(mode Mode) *Capture {
+func (l *Lab) EightPuzzle(mode Mode) (*Capture, error) {
 	return l.SoarTask("eight-puzzle", eightpuzzle.Default(), mode)
 }
 
 // Strips captures the Strips-Soar run.
-func (l *Lab) Strips(mode Mode) *Capture {
+func (l *Lab) Strips(mode Mode) (*Capture, error) {
 	return l.SoarTask("strips", strips.Default(), mode)
 }
 
 // Cypress captures the synthetic Cypress run. NoChunk runs the driver with
 // only the task productions; DuringChunk adds the 26 chunks at their
 // scripted points; AfterChunk preloads all chunks before driving.
-func (l *Lab) Cypress(mode Mode) *Capture {
+func (l *Lab) Cypress(mode Mode) (*Capture, error) {
 	key := fmt.Sprintf("cypress/%v/org%d", mode, l.opts.Organization)
 	if c, ok := l.cache[key]; ok {
-		return c
+		return c, nil
 	}
 	sys := cypress.Generate(cypress.DefaultParams())
 	e := engine.New(l.engCfg())
 	if err := e.LoadProgram(sys.Source); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("exp: cypress load: %w", err)
 	}
 	cap := &Capture{Name: key, eng: e}
 	e.AfterCycle = func(*prun.CycleStats) {
@@ -285,10 +304,10 @@ func (l *Lab) Cypress(mode Mode) *Capture {
 		for i := range sys.ChunkSrcs {
 			ast, err := sys.ParseChunk(i, e.Tab)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("exp: cypress chunk %d: %w", i, err)
 			}
 			if _, err := e.AddProductionRuntime(ast); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("exp: cypress chunk %d: %w", i, err)
 			}
 		}
 		e.UpdateStats = nil // preload is not part of the measured run
@@ -301,10 +320,10 @@ func (l *Lab) Cypress(mode Mode) *Capture {
 			for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
 				ast, err := sys.ParseChunk(next, e.Tab)
 				if err != nil {
-					panic(err)
+					return nil, fmt.Errorf("exp: cypress chunk %d: %w", next, err)
 				}
 				if _, err := e.AddProductionRuntime(ast); err != nil {
-					panic(err)
+					return nil, fmt.Errorf("exp: cypress chunk %d: %w", next, err)
 				}
 				next++
 			}
@@ -314,12 +333,24 @@ func (l *Lab) Cypress(mode Mode) *Capture {
 	cap.Decisions = sys.Params.Cycles
 	cap.harvest(e)
 	l.cache[key] = cap
-	return cap
+	return cap, nil
 }
 
 // Workloads returns the three paper tasks in the given mode.
-func (l *Lab) Workloads(mode Mode) []*Capture {
-	return []*Capture{l.EightPuzzle(mode), l.Strips(mode), l.Cypress(mode)}
+func (l *Lab) Workloads(mode Mode) ([]*Capture, error) {
+	ep, err := l.EightPuzzle(mode)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.Strips(mode)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := l.Cypress(mode)
+	if err != nil {
+		return nil, err
+	}
+	return []*Capture{ep, st, cy}, nil
 }
 
 // TaskNames are the display names, in the paper's order.

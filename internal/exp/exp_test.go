@@ -10,7 +10,10 @@ import (
 var sharedLab = NewLab()
 
 func TestTable51ChunksBiggerThanTaskProductions(t *testing.T) {
-	tbl := Table51(sharedLab)
+	tbl, err := Table51(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -41,7 +44,10 @@ func atoiOr(t *testing.T, s string) int {
 }
 
 func TestTable52SharingCompilesFaster(t *testing.T) {
-	tbl := Table52(sharedLab)
+	tbl, err := Table52(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tbl.Rows {
 		shared := row[2]
 		unshared := row[3]
@@ -73,7 +79,10 @@ func parseF(t *testing.T, s string) float64 {
 }
 
 func TestTable61Granularity(t *testing.T) {
-	tbl := Table61(sharedLab)
+	tbl, err := Table61(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tbl.Rows {
 		avg := atoiOr(t, row[3])
 		// Shape target: task granularity in the hundreds of microseconds
@@ -85,8 +94,14 @@ func TestTable61Granularity(t *testing.T) {
 }
 
 func TestSpeedupShapes(t *testing.T) {
-	f61 := Fig61(sharedLab)
-	f64 := Fig64(sharedLab)
+	f61, err := Fig61(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := Fig64(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range f61.Series {
 		last61 := f61.Series[i].Y[len(f61.Series[i].Y)-1]
 		last64 := f64.Series[i].Y[len(f64.Series[i].Y)-1]
@@ -106,7 +121,10 @@ func TestSpeedupShapes(t *testing.T) {
 }
 
 func TestUpdatePhaseSpeedups(t *testing.T) {
-	f := Fig69(sharedLab)
+	f, err := Fig69(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Series) != 3 {
 		t.Fatalf("series = %d", len(f.Series))
 	}
@@ -119,8 +137,14 @@ func TestUpdatePhaseSpeedups(t *testing.T) {
 }
 
 func TestAfterChunkingEightPuzzleHighestSpeedup(t *testing.T) {
-	f610 := Fig610(sharedLab)
-	f64 := Fig64(sharedLab)
+	f610, err := Fig610(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := Fig64(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ep610 := f610.Series[0].Y[len(f610.Series[0].Y)-1]
 	ep64 := f64.Series[0].Y[len(f64.Series[0].Y)-1]
 	// Paper §6.3: the biggest increase in parallelism is the Eight-puzzle
@@ -134,8 +158,14 @@ func TestAfterChunkingEightPuzzleHighestSpeedup(t *testing.T) {
 }
 
 func TestHistogramShiftAfterChunking(t *testing.T) {
-	before := Fig611(sharedLab)
-	after := Fig612(sharedLab)
+	before, err := Fig611(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Fig612(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mass at >= 200 tasks/cycle grows after chunking (rightward shift,
 	// Figures 6-11 vs 6-12).
 	sumAbove := func(s []float64, x []float64, cut float64) float64 {
@@ -155,7 +185,10 @@ func TestHistogramShiftAfterChunking(t *testing.T) {
 }
 
 func TestFig67RendersProductions(t *testing.T) {
-	out := Fig67(sharedLab)
+	out, err := Fig67(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "st*monitor-strips-state") {
 		t.Fatalf("monitor production missing:\n%s", out)
 	}
@@ -165,7 +198,10 @@ func TestFig67RendersProductions(t *testing.T) {
 }
 
 func TestFig68BilinearShortensChain(t *testing.T) {
-	tbl := Fig68(sharedLab)
+	tbl, err := Fig68(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -177,7 +213,10 @@ func TestFig68BilinearShortensChain(t *testing.T) {
 }
 
 func TestFig62StripsWorstContention(t *testing.T) {
-	f := Fig62(sharedLab)
+	f, err := Fig62(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Strips should have the smallest share of single-access buckets
 	// (paper: Strips contention higher than Eight-puzzle and Cypress).
 	oneAccess := make([]float64, len(f.Series))
@@ -194,7 +233,11 @@ func TestFig62StripsWorstContention(t *testing.T) {
 }
 
 func TestCaptureInvariants(t *testing.T) {
-	for _, c := range sharedLab.Workloads(DuringChunk) {
+	caps, err := sharedLab.Workloads(DuringChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range caps {
 		if !c.Halted {
 			t.Errorf("%s did not halt", c.Name)
 		}

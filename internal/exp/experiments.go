@@ -31,12 +31,16 @@ func mean(xs []int) float64 {
 
 // Table51 reproduces Table 5-1: CEs per task production vs per chunk,
 // code bytes per chunk and per two-input node.
-func Table51(l *Lab) *stats.Table {
+func Table51(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Table 5-1: Number of CEs per chunk (during-chunking runs)",
 		Headers: []string{"Task", "Avg CEs (task Ps)", "Avg CEs (chunks)", "Avg bytes/chunk", "Avg bytes/2-input node"},
 	}
-	for i, c := range l.Workloads(DuringChunk) {
+	caps, err := l.Workloads(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		n2in := 0
 		for _, n := range c.ChunkNew2In {
 			n2in += n
@@ -59,7 +63,7 @@ func Table51(l *Lab) *stats.Table {
 			fmt.Sprintf("%.0f", perChunk),
 			fmt.Sprintf("%.0f", per2in))
 	}
-	return t
+	return t, nil
 }
 
 // compileModelMicros models chunk compilation time on the paper's 0.75-MIPS
@@ -77,29 +81,39 @@ func compileModelMicros(bytes, newNodes, sharedNodes int) int64 {
 // Table52 reproduces Table 5-2: time to compile chunks at run time, with
 // two-input-node sharing on and off. The chunks of the during-chunking
 // runs are recompiled into fresh networks under both settings.
-func Table52(l *Lab) *stats.Table {
+func Table52(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Table 5-2: Time for compiling chunks at run-time (modeled seconds on the 0.75-MIPS target)",
 		Headers: []string{"Task", "Chunks added", "Time shared (s)", "Time unshared (s)"},
 	}
-	for i, c := range l.Workloads(DuringChunk) {
+	caps, err := l.Workloads(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		var chunkASTs []*ops5.Production
 		for _, add := range c.eng.Additions {
 			chunkASTs = append(chunkASTs, add.Prod.AST)
 		}
-		shared := recompileChunks(c, chunkASTs, true)
-		unshared := recompileChunks(c, chunkASTs, false)
+		shared, err := recompileChunks(c, chunkASTs, true)
+		if err != nil {
+			return nil, err
+		}
+		unshared, err := recompileChunks(c, chunkASTs, false)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(TaskNames[i],
 			fmt.Sprintf("%d", len(chunkASTs)),
 			fmt.Sprintf("%.1f", float64(shared)/1e6),
 			fmt.Sprintf("%.1f", float64(unshared)/1e6))
 	}
-	return t
+	return t, nil
 }
 
 // recompileChunks rebuilds the task network and re-adds the chunks under
 // the given sharing setting, returning the modeled compile time.
-func recompileChunks(c *Capture, chunks []*ops5.Production, share bool) int64 {
+func recompileChunks(c *Capture, chunks []*ops5.Production, share bool) (int64, error) {
 	opts := rete.DefaultOptions()
 	opts.ShareBeta = share
 	nw := rete.NewNetwork(c.eng.Tab, c.eng.Reg, nil, opts)
@@ -108,7 +122,7 @@ func recompileChunks(c *Capture, chunks []*ops5.Production, share bool) int64 {
 			continue
 		}
 		if _, _, err := nw.AddProduction(p.AST); err != nil {
-			panic(err)
+			return 0, fmt.Errorf("exp: recompile %s: %w", p.Name, err)
 		}
 	}
 	jt := codegen.NewJumptable()
@@ -118,12 +132,12 @@ func recompileChunks(c *Capture, chunks []*ops5.Production, share bool) int64 {
 		clone.Name = ast.Name + "-re"
 		_, info, err := nw.AddProduction(&clone)
 		if err != nil {
-			panic(err)
+			return 0, fmt.Errorf("exp: recompile %s: %w", clone.Name, err)
 		}
 		cg := codegen.CompileProduction(info, jt)
 		total += compileModelMicros(cg.Bytes, len(info.NewBeta), info.SharedTwoInput)
 	}
-	return total
+	return total, nil
 }
 
 func isChunkName(n string) bool {
@@ -132,12 +146,16 @@ func isChunkName(n string) bool {
 
 // Table61 reproduces Table 6-1: the granularity of tasks — uniprocessor
 // match time, total node activations, mean time per activation.
-func Table61(l *Lab) *stats.Table {
+func Table61(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Table 6-1: The granularity of the tasks (without chunking; simulated NS32032 time)",
 		Headers: []string{"Task", "Uniproc. time (s)", "Total tasks executed", "Avg time per task (us)"},
 	}
-	for i, c := range l.Workloads(NoChunk) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		one := sim.MultiCycle(c.Traces, sim.Config{Processes: 1, QueueOp: QueueOp})
 		avg := int64(0)
 		if one.Tasks > 0 {
@@ -148,7 +166,7 @@ func Table61(l *Lab) *stats.Table {
 			fmt.Sprintf("%d", one.Tasks),
 			fmt.Sprintf("%d", avg))
 	}
-	return t
+	return t, nil
 }
 
 // speedupFigure builds a speedup-vs-processes figure over the given traces.
@@ -169,26 +187,38 @@ func normalTraces(c *Capture) [][]prun.TaskRec { return c.Traces }
 func updateTraces(c *Capture) [][]prun.TaskRec { return c.UpdateTraces }
 
 // Fig61 reproduces Figure 6-1: speedups without chunking, single queue.
-func Fig61(l *Lab) *stats.Figure {
+func Fig61(l *Lab) (*stats.Figure, error) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure("Figure 6-1: Speedups without chunking, single task queue",
-		l.Workloads(NoChunk), normalTraces, sim.SingleQueue)
+		caps, normalTraces, sim.SingleQueue), nil
 }
 
 // Fig64 reproduces Figure 6-4: speedups without chunking, multiple queues.
-func Fig64(l *Lab) *stats.Figure {
+func Fig64(l *Lab) (*stats.Figure, error) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure("Figure 6-4: Speedups without chunking, multiple task queues",
-		l.Workloads(NoChunk), normalTraces, sim.MultiQueue)
+		caps, normalTraces, sim.MultiQueue), nil
 }
 
 // Fig62 reproduces Figure 6-2: contention for the hash buckets — the
 // distribution of left-token accesses per bucket line per cycle.
-func Fig62(l *Lab) *stats.Figure {
+func Fig62(l *Lab) (*stats.Figure, error) {
 	f := &stats.Figure{
 		Title:  "Figure 6-2: Contention for the hash buckets",
 		XLabel: "accesses per bucket per cycle",
 		YLabel: "percent of left tokens",
 	}
-	for i, c := range l.Workloads(NoChunk) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		s := f.AddSeries(TaskNames[i])
 		// Weight each bucket-cycle count by the tokens it covers.
 		byCount := map[int]int{}
@@ -209,18 +239,22 @@ func Fig62(l *Lab) *stats.Figure {
 			s.Add(float64(k), 100*float64(byCount[k])/float64(total))
 		}
 	}
-	return f
+	return f, nil
 }
 
 // Fig63 reproduces Figure 6-3: task-queue contention (spins per task) as
 // the number of processes grows, single shared queue.
-func Fig63(l *Lab) *stats.Figure {
+func Fig63(l *Lab) (*stats.Figure, error) {
 	f := &stats.Figure{
 		Title:  "Figure 6-3: Task-queue contention with increasing number of processes (single queue)",
 		XLabel: "match processes",
 		YLabel: "spins/task (queue-op units)",
 	}
-	for i, c := range l.Workloads(NoChunk) {
+	caps, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
 		s := f.AddSeries(TaskNames[i])
 		for _, p := range ProcessCounts {
 			if p < 3 {
@@ -230,18 +264,21 @@ func Fig63(l *Lab) *stats.Figure {
 			s.Add(float64(p), r.SpinsPerTask(QueueOp))
 		}
 	}
-	return f
+	return f, nil
 }
 
 // Fig65 reproduces Figure 6-5: per-cycle speedup as a function of
 // tasks/cycle for the Eight-puzzle at 11 match processes.
-func Fig65(l *Lab) *stats.Figure {
+func Fig65(l *Lab) (*stats.Figure, error) {
 	f := &stats.Figure{
 		Title:  "Figure 6-5: Eight-puzzle: per-cycle speedup vs tasks/cycle (11 processes, multiple queues)",
 		XLabel: "tasks/cycle (bin)",
 		YLabel: "mean speedup",
 	}
-	c := l.EightPuzzle(DuringChunk)
+	c, err := l.EightPuzzle(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
 	bins := map[int]*stats.Summary{}
 	for _, tr := range c.Traces {
 		if len(tr) == 0 {
@@ -263,7 +300,7 @@ func Fig65(l *Lab) *stats.Figure {
 	for _, k := range keys {
 		s.Add(float64(k), bins[k].Mean())
 	}
-	return f
+	return f, nil
 }
 
 // binFor buckets cycle sizes like the paper's scatter (finer at the left).
@@ -280,13 +317,16 @@ func binFor(n int) int {
 
 // Fig66 reproduces Figure 6-6: tasks in the system over time for a large
 // cycle with low speedup (the long-chain tail), 11 processes.
-func Fig66(l *Lab) *stats.Figure {
+func Fig66(l *Lab) (*stats.Figure, error) {
 	f := &stats.Figure{
 		Title:  "Figure 6-6: Eight-puzzle: tasks in system over time (one ~300-task cycle, 11 processes)",
 		XLabel: "time (100us units)",
 		YLabel: "tasks in system",
 	}
-	c := l.EightPuzzle(DuringChunk)
+	c, err := l.EightPuzzle(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
 	// Pick the largest cycle in the 250..600 range (like the paper's
 	// ~300-task example), falling back to the largest overall.
 	var pick []prun.TaskRec
@@ -319,15 +359,18 @@ func Fig66(l *Lab) *stats.Figure {
 			s.Add(float64(t/100), float64(cur))
 		}
 	}
-	return f
+	return f, nil
 }
 
 // Fig67 renders the long-chain productions of Figure 6-7: the
 // Monitor-Strips-State task production and the longest learned chunk.
-func Fig67(l *Lab) string {
+func Fig67(l *Lab) (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Figure 6-7: Long chain productions\n\n")
-	c := l.Strips(DuringChunk)
+	c, err := l.Strips(DuringChunk)
+	if err != nil {
+		return "", err
+	}
 	for _, p := range c.eng.NW.Productions() {
 		if p.Name == "st*monitor-strips-state" {
 			sb.WriteString("; The Strips state-monitor production (task production):\n")
@@ -345,12 +388,12 @@ func Fig67(l *Lab) string {
 		fmt.Fprintf(&sb, "\n; The longest learned chunk (%d CEs):\n", countCEs(longest.AST))
 		sb.WriteString(ops5.Format(longest.AST, c.eng.Tab))
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 // Fig68 reproduces Figure 6-8: the constrained bilinear network — chain
 // length and critical-path reduction on the Strips task.
-func Fig68(l *Lab) *stats.Table {
+func Fig68(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 6-8: Constrained bilinear network organization (Strips, without chunking)",
 		Headers: []string{"Organization", "Max network chain (nodes)", "Critical path (activations)", "Speedup @11 procs", "Tasks"},
@@ -364,7 +407,10 @@ func Fig68(l *Lab) *stats.Table {
 		// CEs".
 		lab.opts.ContextCEs = 3
 		lab.opts.GroupCEs = 3
-		c := lab.SoarTask("strips-bilinear", strips.Default(), NoChunk)
+		c, err := lab.SoarTask("strips-bilinear", strips.Default(), NoChunk)
+		if err != nil {
+			return nil, err
+		}
 		depth := prodChainDepth(c.eng, "st*monitor-strips-state")
 		crit := 0
 		for _, tr := range c.Traces {
@@ -382,7 +428,7 @@ func Fig68(l *Lab) *stats.Table {
 			fmt.Sprintf("%.2f", sim.RunSpeedup(c.Traces, 11, sim.MultiQueue, QueueOp)),
 			fmt.Sprintf("%d", c.Tasks))
 	}
-	return t
+	return t, nil
 }
 
 // prodChainDepth returns the longest node chain from the top to the named
@@ -433,15 +479,23 @@ func criticalPath(tr []prun.TaskRec) int {
 
 // Fig69 reproduces Figure 6-9: speedups in the update phase (run-time
 // addition state update), multiple queues.
-func Fig69(l *Lab) *stats.Figure {
+func Fig69(l *Lab) (*stats.Figure, error) {
+	caps, err := l.Workloads(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure("Figure 6-9: Speedups in the update phase, multiple task queues",
-		l.Workloads(DuringChunk), updateTraces, sim.MultiQueue)
+		caps, updateTraces, sim.MultiQueue), nil
 }
 
 // Fig610 reproduces Figure 6-10: speedups after chunking, multiple queues.
-func Fig610(l *Lab) *stats.Figure {
+func Fig610(l *Lab) (*stats.Figure, error) {
+	caps, err := l.Workloads(AfterChunk)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure("Figure 6-10: Speedups after chunking, multiple task queues",
-		l.Workloads(AfterChunk), normalTraces, sim.MultiQueue)
+		caps, normalTraces, sim.MultiQueue), nil
 }
 
 // tasksPerCycleHist builds the paper's tasks/cycle histograms.
@@ -460,30 +514,48 @@ func tasksPerCycleHist(title string, c *Capture) *stats.Figure {
 
 // Fig611 reproduces Figure 6-11: tasks/cycle distribution, Eight-puzzle
 // without chunking.
-func Fig611(l *Lab) *stats.Figure {
-	return tasksPerCycleHist("Figure 6-11: Eight-puzzle without chunking: tasks/cycle vs percent of cycles",
-		l.EightPuzzle(NoChunk))
+func Fig611(l *Lab) (*stats.Figure, error) {
+	c, err := l.EightPuzzle(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	return tasksPerCycleHist("Figure 6-11: Eight-puzzle without chunking: tasks/cycle vs percent of cycles", c), nil
 }
 
 // Fig612 reproduces Figure 6-12: tasks/cycle distribution, Eight-puzzle
 // after chunking.
-func Fig612(l *Lab) *stats.Figure {
-	return tasksPerCycleHist("Figure 6-12: Eight-puzzle after chunking: tasks/cycle vs percent of cycles",
-		l.EightPuzzle(AfterChunk))
+func Fig612(l *Lab) (*stats.Figure, error) {
+	c, err := l.EightPuzzle(AfterChunk)
+	if err != nil {
+		return nil, err
+	}
+	return tasksPerCycleHist("Figure 6-12: Eight-puzzle after chunking: tasks/cycle vs percent of cycles", c), nil
 }
 
 // Extras summarizes measurements the paper reports in prose: jumptable
 // overhead (§5.1), sharing statistics, and the chunking effect on run
 // totals (§6.3).
-func Extras(l *Lab) *stats.Table {
+func Extras(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Prose measurements (sections 5.1, 6.3)",
 		Headers: []string{"Task", "Shared 2-in nodes/chunk", "Jumptable overhead", "Tasks no-chunk", "Tasks after-chunk", "%cycles >=1000 tasks (after)"},
 	}
+	during, err := l.Workloads(DuringChunk)
+	if err != nil {
+		return nil, err
+	}
+	noChunk, err := l.Workloads(NoChunk)
+	if err != nil {
+		return nil, err
+	}
+	afterChunk, err := l.Workloads(AfterChunk)
+	if err != nil {
+		return nil, err
+	}
 	for i := range TaskNames {
-		d := l.Workloads(DuringChunk)[i]
-		nc := l.Workloads(NoChunk)[i]
-		ac := l.Workloads(AfterChunk)[i]
+		d := during[i]
+		nc := noChunk[i]
+		ac := afterChunk[i]
 		sharedPer := 0.0
 		if len(d.ChunkCEs) > 0 {
 			sharedPer = float64(d.SharedTwoInput) / float64(len(d.ChunkCEs))
@@ -511,5 +583,5 @@ func Extras(l *Lab) *stats.Table {
 			fmt.Sprintf("%d", ac.Tasks),
 			fmt.Sprintf("%.0f%%", h.PercentAtOrAbove(1000)))
 	}
-	return t
+	return t, nil
 }

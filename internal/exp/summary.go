@@ -11,7 +11,7 @@ import (
 // of the paper's evaluation, the paper's headline number, the measured
 // value from this run, and whether the qualitative shape held. The checks
 // are computed live, so the scorecard cannot drift from the code.
-func Summary(l *Lab) *stats.Table {
+func Summary(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Reproduction scorecard (shape targets; see EXPERIMENTS.md for discussion)",
 		Headers: []string{"Artifact", "Paper headline", "Measured", "Shape"},
@@ -25,7 +25,10 @@ func Summary(l *Lab) *stats.Table {
 
 	// Table 5-1: chunks bigger than task productions; bytes/node in band.
 	{
-		c := l.Cypress(DuringChunk)
+		c, err := l.Cypress(DuringChunk)
+		if err != nil {
+			return nil, err
+		}
 		taskCEs, chunkCEs := mean(c.TaskProdCEs), mean(c.ChunkCEs)
 		t.AddRow("Table 5-1 (Cypress CEs)", "26 task / 51 chunk",
 			fmt.Sprintf("%.0f task / %.0f chunk", taskCEs, chunkCEs),
@@ -44,7 +47,10 @@ func Summary(l *Lab) *stats.Table {
 
 	// Table 6-1: ~400 µs tasks.
 	{
-		c := l.EightPuzzle(NoChunk)
+		c, err := l.EightPuzzle(NoChunk)
+		if err != nil {
+			return nil, err
+		}
 		one := sim.MultiCycle(c.Traces, sim.Config{Processes: 1, QueueOp: QueueOp})
 		avg := float64(one.TotalWork) / float64(maxi(1, one.Tasks))
 		t.AddRow("Table 6-1 (µs/task)", "400-438",
@@ -53,7 +59,10 @@ func Summary(l *Lab) *stats.Table {
 
 	// Figures 6-1/6-4: single-queue cap lifted by multiple queues.
 	{
-		c := l.Strips(NoChunk)
+		c, err := l.Strips(NoChunk)
+		if err != nil {
+			return nil, err
+		}
 		s1 := sim.RunSpeedup(c.Traces, 13, sim.SingleQueue, QueueOp)
 		s2 := sim.RunSpeedup(c.Traces, 13, sim.MultiQueue, QueueOp)
 		t.AddRow("Fig 6-1 vs 6-4 (Strips @13)", "≈4.2 → ≈7",
@@ -73,14 +82,25 @@ func Summary(l *Lab) *stats.Table {
 			}
 			return 100 * float64(byCount[1]) / float64(total)
 		}
-		ep, st := share(l.EightPuzzle(NoChunk)), share(l.Strips(NoChunk))
+		epc, err := l.EightPuzzle(NoChunk)
+		if err != nil {
+			return nil, err
+		}
+		stc, err := l.Strips(NoChunk)
+		if err != nil {
+			return nil, err
+		}
+		ep, st := share(epc), share(stc)
 		t.AddRow("Fig 6-2 (Strips contention)", "Strips worst",
 			fmt.Sprintf("1-access: EP %.0f%%, Strips %.0f%%", ep, st), check(st < ep))
 	}
 
 	// Figure 6-9: update phase parallelizes.
 	{
-		c := l.Strips(DuringChunk)
+		c, err := l.Strips(DuringChunk)
+		if err != nil {
+			return nil, err
+		}
 		sp := sim.RunSpeedup(c.UpdateTraces, 13, sim.MultiQueue, QueueOp)
 		t.AddRow("Fig 6-9 (update speedup @13)", "high",
 			fmt.Sprintf("%.1f", sp), check(sp > 1.5))
@@ -88,7 +108,10 @@ func Summary(l *Lab) *stats.Table {
 
 	// Figure 6-10: Eight-puzzle after chunking ≈ 10×.
 	{
-		c := l.EightPuzzle(AfterChunk)
+		c, err := l.EightPuzzle(AfterChunk)
+		if err != nil {
+			return nil, err
+		}
 		sp := sim.RunSpeedup(c.Traces, 13, sim.MultiQueue, QueueOp)
 		t.AddRow("Fig 6-10 (EP after-chunking @13)", "≈10",
 			fmt.Sprintf("%.1f", sp), check(sp >= 8))
@@ -103,8 +126,16 @@ func Summary(l *Lab) *stats.Table {
 			}
 			return h.PercentAtOrAbove(cut)
 		}
-		b := massAbove(l.EightPuzzle(NoChunk), 200)
-		a := massAbove(l.EightPuzzle(AfterChunk), 200)
+		bc, err := l.EightPuzzle(NoChunk)
+		if err != nil {
+			return nil, err
+		}
+		ac, err := l.EightPuzzle(AfterChunk)
+		if err != nil {
+			return nil, err
+		}
+		b := massAbove(bc, 200)
+		a := massAbove(ac, 200)
 		t.AddRow("Fig 6-11/12 (cycles ≥200 tasks)", "3% → 30%+",
 			fmt.Sprintf("%.0f%% → %.0f%%", b, a), check(a > b))
 	}
@@ -113,7 +144,10 @@ func Summary(l *Lab) *stats.Table {
 	// cycle parallelizes far worse than the best cycles, which is why the
 	// whole-run speedup understates the burst parallelism.
 	{
-		c := l.EightPuzzle(DuringChunk)
+		c, err := l.EightPuzzle(DuringChunk)
+		if err != nil {
+			return nil, err
+		}
 		h := stats.NewHistogram(10) // bins of 0.1x (speedup scaled by 100)
 		for _, tr := range c.Traces {
 			if len(tr) < 5 {
@@ -129,21 +163,32 @@ func Summary(l *Lab) *stats.Table {
 
 	// §6.3: chunking increases total match work on the Eight-puzzle.
 	{
-		nc, ac := l.EightPuzzle(NoChunk).Tasks, l.EightPuzzle(AfterChunk).Tasks
+		ncc, err := l.EightPuzzle(NoChunk)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := l.EightPuzzle(AfterChunk)
+		if err != nil {
+			return nil, err
+		}
+		nc, ac := ncc.Tasks, acc.Tasks
 		t.AddRow("§6.3 (EP match work growth)", "expensive chunks",
 			fmt.Sprintf("%d → %d tasks", nc, ac), check(ac > nc))
 	}
 
 	// Fig 6-8: bilinear cuts the monitor chain.
 	{
-		tbl := Fig68(l)
+		tbl, err := Fig68(l)
+		if err != nil {
+			return nil, err
+		}
 		var lin, bil int
 		fmt.Sscanf(tbl.Rows[0][1], "%d", &lin)
 		fmt.Sscanf(tbl.Rows[1][1], "%d", &bil)
 		t.AddRow("Fig 6-8 (monitor chain)", "43 → 15 CEs",
 			fmt.Sprintf("%d → %d nodes", lin, bil), check(bil < lin))
 	}
-	return t
+	return t, nil
 }
 
 func maxi(a, b int) int {

@@ -1,0 +1,162 @@
+// Fault matrix: every fault schedule crossed with every scheduling policy
+// and several process counts must leave the engine in a state byte-identical
+// to a fault-free serial run — the serial-fallback guarantee. The test is in
+// an external package because it drives the whole engine (which itself
+// imports fault).
+package fault_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/fault"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// matrixParams is kept small: the matrix multiplies it by 5 schedules x 3
+// policies x 3 process counts, and CI runs the whole thing under -race.
+var matrixParams = cypress.Params{Productions: 60, Cycles: 20, Seed: 5}
+
+// run drives the cypress workload for one configuration and returns the
+// per-cycle conflict-set fingerprints plus the engine for post-run audits.
+func run(t *testing.T, procs int, pol prun.Policy, in *fault.Injector, deadline time.Duration) ([]string, *engine.Engine) {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Processes = procs
+	cfg.Policy = pol
+	cfg.Fault = in
+	cfg.Deadline = deadline
+	e := engine.New(cfg)
+	sys := cypress.Generate(matrixParams)
+	if err := e.LoadProgram(sys.Source); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+	fps := make([]string, 0, sys.Params.Cycles)
+	for c := 0; c < sys.Params.Cycles; c++ {
+		e.ApplyAndMatch(drv.Batch())
+		fps = append(fps, fingerprint(e))
+	}
+	return fps, e
+}
+
+// fingerprint renders the live conflict set (plus the working-memory size)
+// as a canonical string: production name and CE-ordered wme time tags per
+// instantiation, sorted. Pointer identities are deliberately excluded so
+// fingerprints compare across engines.
+func fingerprint(e *engine.Engine) string {
+	insts := e.CS.All()
+	lines := make([]string, 0, len(insts))
+	for _, in := range insts {
+		var sb strings.Builder
+		sb.WriteString(in.Prod.Name)
+		sb.WriteByte('(')
+		for i, w := range in.WMEs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", w.TimeTag)
+		}
+		sb.WriteByte(')')
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("wm=%d cs=%d %s", e.WM.Len(), len(insts), strings.Join(lines, " "))
+}
+
+func TestFaultMatrix(t *testing.T) {
+	schedules := []struct {
+		name         string
+		mk           func() *fault.Injector // fresh injector per run (visit counters are stateful)
+		deadline     time.Duration
+		wantRecovery bool // schedule must fail at least one cycle, and every failure must recover
+	}{
+		{name: "none", mk: func() *fault.Injector { return nil }},
+		{
+			name: "planned-panics",
+			mk: func() *fault.Injector {
+				return fault.Plan(
+					fault.Fault{Site: fault.SiteExec, Kind: fault.KindPanic, Visit: 3},
+					fault.Fault{Site: fault.SiteExec, Kind: fault.KindPanic, Visit: 41},
+					fault.Fault{Site: fault.SiteExec, Kind: fault.KindPanic, Visit: 97},
+				)
+			},
+			wantRecovery: true,
+		},
+		{
+			name: "stall-watchdog",
+			mk: func() *fault.Injector {
+				return fault.Plan(fault.Fault{Site: fault.SiteExec, Kind: fault.KindStall, Visit: 5, Delay: 30 * time.Second})
+			},
+			deadline:     50 * time.Millisecond,
+			wantRecovery: true,
+		},
+		{
+			name: "seeded-drops",
+			mk:   func() *fault.Injector { return fault.Seeded(7, fault.Rates{DropSteal: 20000}) },
+			// Dropped steals perturb the schedule but never fail a cycle.
+		},
+		{
+			name:         "seeded-panics",
+			mk:           func() *fault.Injector { return fault.Seeded(11, fault.Rates{Panic: 600}) },
+			wantRecovery: true,
+		},
+	}
+	policies := []prun.Policy{prun.SingleQueue, prun.MultiQueue, prun.WorkStealing}
+	procCounts := []int{1, 4, 13}
+
+	baseline, be := run(t, 1, prun.SingleQueue, nil, 0)
+	if err := be.AuditInvariants(); err != nil {
+		t.Fatalf("baseline audit: %v", err)
+	}
+
+	for _, sched := range schedules {
+		for _, pol := range policies {
+			for _, procs := range procCounts {
+				if testing.Short() && procs == 13 {
+					continue
+				}
+				sched, pol, procs := sched, pol, procs
+				t.Run(fmt.Sprintf("%s/%v/p%d", sched.name, pol, procs), func(t *testing.T) {
+					t.Parallel()
+					in := sched.mk()
+					fps, e := run(t, procs, pol, in, sched.deadline)
+					for c := range fps {
+						if fps[c] != baseline[c] {
+							t.Fatalf("cycle %d diverged from fault-free serial baseline:\n got  %s\n want %s",
+								c, fps[c], baseline[c])
+						}
+					}
+					if err := e.AuditInvariants(); err != nil {
+						t.Fatalf("post-run audit: %v", err)
+					}
+					failed, recovered := 0, 0
+					for _, cs := range e.CycleStats {
+						if cs.Failed {
+							failed++
+							if !cs.Recovered {
+								t.Fatalf("cycle failed (%s) without recovery", cs.Reason)
+							}
+							recovered++
+						}
+					}
+					if sched.wantRecovery && failed == 0 {
+						t.Fatalf("schedule injected no cycle failure (injector fired %d faults over %d exec visits)",
+							in.Fired(), in.Visits(fault.SiteExec))
+					}
+					if sched.name == "none" && failed != 0 {
+						t.Fatalf("fault-free run failed %d cycles", failed)
+					}
+					if sched.wantRecovery && recovered != failed {
+						t.Fatalf("failed %d cycles but recovered only %d", failed, recovered)
+					}
+				})
+			}
+		}
+	}
+}

@@ -67,6 +67,16 @@ type MatchHooks struct {
 	// TaskCost is the modeled per-task cost distribution in µs
 	// (match_task_cost_us).
 	TaskCost *Histogram
+	// Panics counts worker panics recovered by the supervision layer
+	// (worker_panics_total); each poisons its cycle, which the engine then
+	// retries serially.
+	Panics *Counter
+	// Watchdogs counts quiescence-watchdog expiries (watchdog_fires_total),
+	// one per cycle the deadline poisoned.
+	Watchdogs *Counter
+	// Injected counts faults fired by the internal/fault injector
+	// (faults_injected_total).
+	Injected *Counter
 	// Trc, when non-nil, receives one complete span per executed task on
 	// the worker's lane plus steal instants.
 	Trc *Tracer
@@ -86,6 +96,9 @@ func (o *Observer) MatchHooks(pid int) *MatchHooks {
 		FailedPops: o.Counter("queue_failed_pops_total"),
 		TermProbes: o.Counter("queue_term_probes_total"),
 		TaskCost:   o.Histogram("match_task_cost_us", ExpBuckets(100, 2, 10)...),
+		Panics:     o.Counter("worker_panics_total"),
+		Watchdogs:  o.Counter("watchdog_fires_total"),
+		Injected:   o.Counter("faults_injected_total"),
 		Trc:        o.Trc,
 		Pid:        pid,
 	}

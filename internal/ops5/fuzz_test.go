@@ -1,0 +1,60 @@
+package ops5
+
+import (
+	"os"
+	"testing"
+
+	"soarpsme/internal/value"
+)
+
+// FuzzOPS5Parse asserts the parser is total: any input either parses or
+// returns an error — it never panics. When a program does parse, every
+// production must survive a print/re-parse round trip, so the printer is
+// fuzzed with the same corpus for free.
+func FuzzOPS5Parse(f *testing.F) {
+	f.Add(blueBlockSrc)
+	for _, p := range []string{"../../examples/ops/monkey.ops", "../../examples/ops/fib.ops"} {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	for _, seed := range []string{
+		"",
+		"(",
+		")",
+		"(p",
+		"(p x)",
+		"(p x -->)",
+		"(p x (c ^a 1) --> (make d ^b 2))",
+		"(p x (c ^a { > 3 <= 10 }) --> (halt))",
+		"(p x -(c ^a <v>) --> (remove 1))",
+		"(p x (c ^a <v>) - { (d ^b <v>) (e ^c <v>) } --> (halt))",
+		"(literalize c a b)(p x (c ^a (compute 1 + 2)) --> (modify 1 ^b 3))",
+		"(strategy mea)(p x (c) --> (write |hi| (crlf)))",
+		"(p x (c ^a 1", // truncated mid-CE
+		"(p x (c ^ 1) --> (halt))",
+		"(p x (c ^a <=> ) --> (halt))",
+		"(p x (c ^a 1) --> (modify 99 ^a 2))",
+		"(p x (c ^a 1) --> (make))",
+		"(p 0bad (c) --> (halt))",
+		"(vector-attribute a)(p x (c ^a 1 2 3) --> (halt))",
+		"(p x (c ^a \xff\xfe) --> (halt))",
+		";; comment only\n",
+		"(p x (c ^a |unterminated bar",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tab := value.NewTable()
+		prog, err := Parse(src, tab)
+		if err != nil {
+			return
+		}
+		for _, p := range prog.Productions {
+			text := Format(p, tab)
+			if _, err := ParseProduction(text, tab); err != nil {
+				t.Fatalf("round trip failed for %s: %v\nprinted:\n%s", p.Name, err, text)
+			}
+		}
+	})
+}

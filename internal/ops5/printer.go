@@ -11,7 +11,7 @@ import (
 // round-trips through Parse.
 func Format(p *Production, tab *value.Table) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "(p %s\n", p.Name)
+	fmt.Fprintf(&sb, "(p %s\n", quoteSym(p.Name))
 	for _, ci := range p.LHS {
 		switch ci.Kind {
 		case CondPos:
@@ -44,9 +44,30 @@ func Format(p *Production, tab *value.Table) string {
 	return s[:len(s)-1] + ")\n"
 }
 
+// quoteSym renders a symbol name so it re-lexes as the same symbol: bare
+// when possible, |bar-quoted| otherwise (symbols interned from | strings
+// can hold delimiters, whitespace, predicates, or number-shaped text).
+func quoteSym(name string) string {
+	lx := newLexer(name)
+	if t, err := lx.next(); err == nil && t.Kind == tokSym && t.Text == name && lx.pos == len(name) {
+		return name
+	}
+	return "|" + name + "|"
+}
+
+// formatVal is tab.Format with symbol quoting.
+func formatVal(v value.Value, tab *value.Table) string {
+	if v.Kind == value.KindSym {
+		if n := tab.Name(v.Sym); n != "" {
+			return quoteSym(n)
+		}
+	}
+	return v.String()
+}
+
 func formatCE(ce *CE, tab *value.Table) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "(%s", tab.Name(ce.Class))
+	fmt.Fprintf(&sb, "(%s", quoteSym(tab.Name(ce.Class)))
 	for _, at := range ce.Tests {
 		fmt.Fprintf(&sb, " ^%s %s", tab.Name(at.Attr), formatTests(at.Tests, tab))
 	}
@@ -74,11 +95,11 @@ func formatTest(t Test, tab *value.Table) string {
 	case TestVar:
 		return fmt.Sprintf("%s<%s>", pred, tab.Name(t.Var))
 	case TestConst:
-		return pred + tab.Format(t.Val)
+		return pred + formatVal(t.Val, tab)
 	case TestDisj:
 		parts := make([]string, len(t.Disj))
 		for i, v := range t.Disj {
-			parts[i] = tab.Format(v)
+			parts[i] = formatVal(v, tab)
 		}
 		return "<< " + strings.Join(parts, " ") + " >>"
 	}
@@ -89,7 +110,7 @@ func formatAction(a *Action, tab *value.Table) string {
 	var sb strings.Builder
 	switch a.Kind {
 	case ActMake:
-		fmt.Fprintf(&sb, "(make %s", tab.Name(a.Class))
+		fmt.Fprintf(&sb, "(make %s", quoteSym(tab.Name(a.Class)))
 		for _, s := range a.Sets {
 			fmt.Fprintf(&sb, " ^%s %s", tab.Name(s.Attr), formatExpr(s.Expr, tab))
 		}
@@ -123,7 +144,7 @@ func formatAction(a *Action, tab *value.Table) string {
 	case ActHalt:
 		sb.WriteString("(halt)")
 	case ActExcise:
-		fmt.Fprintf(&sb, "(excise %s)", a.Name)
+		fmt.Fprintf(&sb, "(excise %s)", quoteSym(a.Name))
 	case ActBind:
 		if a.Expr != nil && a.Expr.Kind == ExprGensym {
 			fmt.Fprintf(&sb, "(bind <%s>)", tab.Name(a.Var))
@@ -137,7 +158,7 @@ func formatAction(a *Action, tab *value.Table) string {
 func formatExpr(e *Expr, tab *value.Table) string {
 	switch e.Kind {
 	case ExprConst:
-		return tab.Format(e.Val)
+		return formatVal(e.Val, tab)
 	case ExprVar:
 		return fmt.Sprintf("<%s>", tab.Name(e.Var))
 	case ExprGensym:

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"soarpsme/internal/deque"
+	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/rete"
 	"soarpsme/internal/spin"
@@ -72,6 +73,17 @@ type Config struct {
 	Policy    Policy
 	// CaptureTrace records the task DAG of each cycle for the simulator.
 	CaptureTrace bool
+	// Fault, when non-nil, is consulted at the named injection sites
+	// (worker.exec, worker.steal); nil injects nothing and costs one
+	// pointer test per site.
+	Fault *fault.Injector
+	// Deadline, when nonzero, bounds each parallel cycle's wall-clock time.
+	// A cycle that has not quiesced when the deadline expires is poisoned
+	// by the watchdog and reported Failed so the engine can fall back to a
+	// serial replay. It must comfortably exceed the worst-case healthy
+	// cycle time; an expiry on a merely slow cycle is safe (the fallback
+	// recomputes identical results) but wasteful.
+	Deadline time.Duration
 }
 
 // TaskRec is one executed task in a cycle trace.
@@ -101,6 +113,18 @@ type CycleStats struct {
 	// cycle-stealing, §6.1, and the WorkStealing policy's thief path).
 	Steals int64
 	Trace  []TaskRec
+	// Failed marks a cycle that did not run to quiescence: a worker
+	// panicked or the watchdog deadline expired. The counters above cover
+	// only the work executed before the abort, Trace is dropped, and the
+	// network's partial match state must be discarded (the engine's
+	// degradation path rebuilds it with ReplaySerial).
+	Failed bool
+	// Reason describes the failure ("worker 3 panic: ...", "watchdog: ...").
+	Reason string
+	// Recovered marks stats produced by the serial fallback replay.
+	Recovered bool
+	// Panics counts worker panics recovered during the cycle.
+	Panics int
 }
 
 // Runtime drives a rete.Network with parallel match processes.
@@ -122,6 +146,12 @@ type Runtime struct {
 	termProbes atomic.Int64
 	steals     atomic.Int64
 	rrInject   atomic.Int64
+	panics     atomic.Int64
+
+	// ctl supervises the current cycle; a fresh one is installed by
+	// resetCycleCounters so a stale watchdog can only poison its own
+	// (already finished) cycle.
+	ctl *cycleCtl
 
 	// obs, when non-nil, receives per-task counters, cost observations and
 	// trace spans. Nil costs one pointer test per task.
@@ -136,12 +166,38 @@ type taskQueue struct {
 	tasks []*rete.Task
 }
 
+// cycleCtl is the supervision state of one cycle: the first failure wins
+// (sync.Once), publishes its reason, and closes abort so stalled workers
+// wake. bad is the cheap per-iteration poison check.
+type cycleCtl struct {
+	abort  chan struct{}
+	once   sync.Once
+	bad    atomic.Bool
+	reason string
+}
+
+func newCycleCtl() *cycleCtl { return &cycleCtl{abort: make(chan struct{})} }
+
+// poison marks the cycle failed with the given reason; it reports whether
+// this call won the race to poison (so callers can count causes exactly
+// once). reason is published before the bad store, so any reader that
+// observes bad also observes reason.
+func (rt *Runtime) poison(c *cycleCtl, reason string) (won bool) {
+	c.once.Do(func() {
+		won = true
+		c.reason = reason
+		c.bad.Store(true)
+		close(c.abort)
+	})
+	return won
+}
+
 // New creates a runtime with the given configuration.
 func New(nw *rete.Network, cfg Config) *Runtime {
 	if cfg.Processes < 1 {
 		cfg.Processes = 1
 	}
-	rt := &Runtime{nw: nw, cfg: cfg}
+	rt := &Runtime{nw: nw, cfg: cfg, ctl: newCycleCtl()}
 	nq := 1
 	if cfg.Policy != SingleQueue {
 		nq = cfg.Processes
@@ -374,9 +430,40 @@ func (rt *Runtime) resetCycleCounters() {
 	rt.failedPops.Store(0)
 	rt.termProbes.Store(0)
 	rt.steals.Store(0)
+	rt.panics.Store(0)
+	rt.ctl = newCycleCtl()
 	if rt.cfg.CaptureTrace {
 		rt.trace = rt.trace[:0]
 	}
+}
+
+// drainPoisoned forcibly quiesces a poisoned cycle after all workers have
+// exited: every queued task is discarded (the partial match state is being
+// thrown away anyway), the pending counter is cleared, the partial trace
+// dropped, and the work-stealing free lists abandoned (a task on a free
+// list could otherwise alias one that was still queued when the cycle
+// aborted).
+func (rt *Runtime) drainPoisoned() {
+	for _, q := range rt.queues {
+		q.lock.Lock()
+		q.tasks = q.tasks[:0]
+		q.lock.Unlock()
+	}
+	for _, d := range rt.deques {
+		for {
+			t, retry := d.Steal()
+			if t == nil && !retry {
+				break
+			}
+		}
+	}
+	for i := range rt.free {
+		rt.free[i] = nil
+	}
+	rt.pending.Store(0)
+	rt.traceMu.Lock()
+	rt.trace = rt.trace[:0]
+	rt.traceMu.Unlock()
 }
 
 // worker carries one match process's per-cycle bookkeeping; counters are
@@ -385,10 +472,58 @@ type worker struct {
 	rt      *Runtime
 	id      int
 	h       *obs.MatchHooks
+	ctl     *cycleCtl
 	tracing bool
 	local   []TaskRec
 	tasks   int64
 	cost    int64
+}
+
+// probe consults the fault injector at site. An injected panic unwinds in
+// place (the worker's recover converts it into a poisoned cycle); a stall
+// blocks until its delay elapses or the cycle aborts; a dropped steal is
+// reported as drop=true so the steal scan skips one victim.
+func (w *worker) probe(site fault.Site) (drop bool) {
+	in := w.rt.cfg.Fault
+	if in == nil {
+		return false
+	}
+	a := in.Visit(site)
+	if a.Kind == fault.KindNone {
+		return false
+	}
+	if h := w.h; h != nil {
+		h.Injected.Inc()
+	}
+	switch a.Kind {
+	case fault.KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %v", site))
+	case fault.KindStall:
+		tm := time.NewTimer(a.Delay)
+		select {
+		case <-tm.C:
+		case <-w.ctl.abort:
+			tm.Stop()
+		}
+	case fault.KindDropSteal:
+		return true
+	}
+	return false
+}
+
+// recovered is the worker goroutines' panic handler: it converts a
+// panicking match process — injected or organic — into a poisoned cycle
+// instead of a dead program. Deferred after wg.Done so the waiter always
+// unblocks.
+func (w *worker) recovered() {
+	if r := recover(); r != nil {
+		rt := w.rt
+		rt.panics.Add(1)
+		if h := w.h; h != nil {
+			h.Panics.Inc()
+		}
+		rt.poison(w.ctl, fmt.Sprintf("worker %d panic: %v", w.id, r))
+	}
 }
 
 // exec runs one task and records its statistics and trace spans.
@@ -458,6 +593,17 @@ func (w *worker) noteSteal() {
 }
 
 func (rt *Runtime) runToQuiescence() CycleStats {
+	ctl := rt.ctl
+	if d := rt.cfg.Deadline; d > 0 {
+		wd := time.AfterFunc(d, func() {
+			if rt.poison(ctl, fmt.Sprintf("watchdog: cycle exceeded %v deadline", d)) {
+				if h := rt.obs; h != nil {
+					h.Watchdogs.Inc()
+				}
+			}
+		})
+		defer wd.Stop()
+	}
 	var (
 		wg        sync.WaitGroup
 		tasks     atomic.Int64
@@ -479,6 +625,13 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 		FailedPops: rt.failedPops.Load(),
 		TermProbes: rt.termProbes.Load(),
 		Steals:     rt.steals.Load(),
+		Panics:     int(rt.panics.Load()),
+	}
+	if ctl.bad.Load() {
+		rt.drainPoisoned()
+		cs.Failed = true
+		cs.Reason = ctl.reason
+		return cs
 	}
 	if rt.cfg.CaptureTrace {
 		cs.Trace = append([]TaskRec(nil), rt.trace...)
@@ -490,13 +643,19 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 // policies (SingleQueue and MultiQueue with cycle-stealing).
 func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *atomic.Int64) {
 	defer wg.Done()
+	ctl := rt.ctl
 	own := rt.queues[id%len(rt.queues)]
 	mySched := sched{rt: rt, q: own}
 	h := rt.obs
-	w := worker{rt: rt, id: id, h: h, tracing: h != nil && h.Trc != nil}
+	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
+	defer w.flush(tasks, totalCost)
+	defer w.recovered()
 	nq := len(rt.queues)
 	rot := 0
 	for {
+		if ctl.bad.Load() {
+			break
+		}
 		t := own.pop()
 		stolen := false
 		if t == nil && nq > 1 {
@@ -504,6 +663,9 @@ func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *a
 			// from a per-worker counter): a fixed id+1 start concentrates
 			// steals on the adjacent queue.
 			for k := 0; k < nq-1 && t == nil; k++ {
+				if w.probe(fault.SiteSteal) {
+					continue
+				}
 				v := (id + 1 + (rot+k)%(nq-1)) % nq
 				t = rt.queues[v].pop()
 			}
@@ -519,10 +681,15 @@ func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *a
 		if stolen {
 			w.noteSteal()
 		}
+		w.probe(fault.SiteExec)
+		if ctl.bad.Load() {
+			// A popped task is abandoned here, not executed: the whole
+			// partial match state is about to be discarded.
+			break
+		}
 		w.exec(t, mySched, stolen)
 		rt.pending.Add(-1)
 	}
-	w.flush(tasks, totalCost)
 }
 
 // runWorkStealing is one match process under the WorkStealing policy:
@@ -531,17 +698,30 @@ func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *a
 // through the worker's free list (persisted across cycles on the runtime).
 func (rt *Runtime) runWorkStealing(id int, wg *sync.WaitGroup, tasks, totalCost *atomic.Int64) {
 	defer wg.Done()
+	ctl := rt.ctl
 	own := rt.deques[id]
 	ws := &wsSched{rt: rt, d: own, free: rt.free[id]}
 	h := rt.obs
-	w := worker{rt: rt, id: id, h: h, tracing: h != nil && h.Trc != nil}
+	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
+	defer w.flush(tasks, totalCost)
+	// The free list is persisted on every exit path, including a panic:
+	// drainPoisoned then abandons all lists, so a task that was in flight
+	// when the cycle aborted can never alias a recycled one.
+	defer func() { rt.free[id] = ws.free }()
+	defer w.recovered()
 	nq := len(rt.deques)
 	rot := 0
 	for {
+		if ctl.bad.Load() {
+			break
+		}
 		t := own.PopBottom()
 		stolen := false
 		if t == nil && nq > 1 {
 			for k := 0; k < nq-1 && t == nil; k++ {
+				if w.probe(fault.SiteSteal) {
+					continue
+				}
 				v := (id + 1 + (rot+k)%(nq-1)) % nq
 				t, _ = rt.deques[v].Steal()
 			}
@@ -560,12 +740,67 @@ func (rt *Runtime) runWorkStealing(id int, wg *sync.WaitGroup, tasks, totalCost 
 		if stolen {
 			w.noteSteal()
 		}
+		w.probe(fault.SiteExec)
+		if ctl.bad.Load() {
+			break
+		}
 		w.exec(t, ws, stolen)
 		rt.pending.Add(-1)
 		ws.recycle(t)
 	}
-	rt.free[id] = ws.free
-	w.flush(tasks, totalCost)
+}
+
+// serialSched is the single-threaded scheduler of the degradation path: a
+// plain LIFO stack, no locks, no queues, no injector.
+type serialSched struct {
+	rt    *Runtime
+	stack []*rete.Task
+}
+
+func (s *serialSched) Push(t *rete.Task) {
+	if s.rt.filtered(t.Node.ID) {
+		return
+	}
+	t.Seq = s.rt.seq.Add(1)
+	s.stack = append(s.stack, t)
+}
+
+// ReplaySerial rebuilds match state from scratch on the calling goroutine:
+// every wme in all is injected and its activation chain run to completion,
+// depth-first, before the next wme is injected. It is the engine's
+// degradation path after a poisoned cycle — the network's memories must
+// already have been reset (rete.Network.ResetMatchState) so the replay
+// re-derives them. No fault injector, watchdog, or termination protocol is
+// consulted: a degraded cycle always completes (§2.3's serial semantics are
+// the correctness oracle the parallel policies are measured against).
+func (rt *Runtime) ReplaySerial(all []*wme.WME) CycleStats {
+	rt.resetCycleCounters()
+	s := &serialSched{rt: rt}
+	cs := CycleStats{Recovered: true}
+	h := rt.obs
+	for _, w := range all {
+		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
+			if rt.filtered(n.ID) {
+				return
+			}
+			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
+		})
+		for len(s.stack) > 0 {
+			t := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			cost := rt.nw.Exec(t, s)
+			cs.Tasks++
+			cs.TotalCost += cost
+			if h != nil {
+				h.Tasks.Inc()
+				h.TaskCost.Observe(float64(cost))
+			}
+			if rt.cfg.CaptureTrace {
+				cs.Trace = append(cs.Trace, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
+			}
+		}
+	}
+	return cs
 }
 
 // QueueLockStats sums (spins, acquires) over the task-queue locks — the

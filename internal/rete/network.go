@@ -245,6 +245,17 @@ func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
 	}
 }
 
+// ResetMatchState discards all match state — every left/right hash-table
+// entry — by installing a fresh Mem, leaving the compiled network intact.
+// It is the first step of the engine's degradation path: after a poisoned
+// parallel cycle the partial memories are unrecoverable piecemeal (there is
+// no telling which inserts landed), so they are dropped wholesale and
+// re-derived by a serial replay of working memory. Must not be called while
+// a cycle is running.
+func (nw *Network) ResetMatchState() {
+	nw.Mem = NewMem(nw.Opts.HashLines)
+}
+
 // WalkBeta visits every beta node reachable from the top, once.
 func (nw *Network) WalkBeta(fn func(*BetaNode)) {
 	nw.mu.Lock()

@@ -198,14 +198,17 @@ func (m *Memory) Make(class value.Sym, fields []value.Value) *WME {
 	return &WME{ID: m.nextID, TimeTag: m.nextTag, Class: class, Fields: fields}
 }
 
-// Insert adds w to working memory. It panics if w is already present.
-func (m *Memory) Insert(w *WME) {
+// Insert adds w to working memory. A duplicate insert (same wme already
+// present) is rejected with an error and leaves memory unchanged; the
+// engine treats it as a failed cycle and recovers rather than crashing.
+func (m *Memory) Insert(w *WME) error {
 	if _, dup := m.byID[w.ID]; dup {
-		panic(fmt.Sprintf("wme: duplicate insert of wme %d", w.ID))
+		return fmt.Errorf("wme: duplicate insert of wme %d", w.ID)
 	}
 	m.byID[w.ID] = w
 	k := w.contentsKey()
 	m.byKey[k] = append(m.byKey[k], w)
+	return nil
 }
 
 // Delete removes w from working memory; it reports whether w was present.

@@ -87,16 +87,18 @@ func TestMemoryInsertDelete(t *testing.T) {
 	}
 }
 
-func TestInsertDuplicatePanics(t *testing.T) {
+func TestInsertDuplicateErrors(t *testing.T) {
 	tab, _, m := newEnv()
 	w := m.Make(tab.Intern("c"), nil)
-	m.Insert(w)
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("duplicate insert did not panic")
-		}
-	}()
-	m.Insert(w)
+	if err := m.Insert(w); err != nil {
+		t.Fatalf("first insert errored: %v", err)
+	}
+	if err := m.Insert(w); err == nil {
+		t.Fatalf("duplicate insert did not error")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after rejected duplicate, want 1", m.Len())
+	}
 }
 
 func TestTimeTagsMonotone(t *testing.T) {
