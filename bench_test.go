@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"soarpsme/internal/benchkit"
 	"soarpsme/internal/engine"
 	"soarpsme/internal/exp"
 	"soarpsme/internal/ops5"
@@ -25,7 +26,6 @@ import (
 	"soarpsme/internal/tasks/hanoi"
 	"soarpsme/internal/tasks/strips"
 	"soarpsme/internal/value"
-	"soarpsme/internal/wme"
 )
 
 var (
@@ -281,93 +281,18 @@ func BenchmarkMatchParallelReal(b *testing.B) {
 
 // ---- Scheduling-policy comparison (WorkStealing vs MultiQueue) ----
 
-// capturePolicyRun solves a Soar task once on an engine configured with the
-// given policy, recording every applied wme-delta batch, and returns the
-// engine (now at quiescence in its end-of-run state) plus the batches.
-func capturePolicyRun(b *testing.B, mk func() *soar.Task, pol prun.Policy, procs int) (*engine.Engine, [][]wme.Delta) {
-	b.Helper()
-	cfg := soar.Config{Engine: engine.DefaultConfig(), MaxDecisions: 400}
-	cfg.Engine.Processes = procs
-	cfg.Engine.Policy = pol
-	a, err := soar.New(cfg, mk())
-	if err != nil {
-		b.Fatal(err)
-	}
-	var batches [][]wme.Delta
-	a.Eng.OnApply = func(ds []wme.Delta) {
-		batches = append(batches, append([]wme.Delta(nil), ds...))
-	}
-	res, err := a.Run()
-	if err != nil {
-		b.Fatal(err)
-	}
-	if !res.Halted {
-		b.Fatal("did not solve")
-	}
-	a.Eng.OnApply = nil
-	return a.Eng, batches
-}
-
-// inverseBatches undoes captured batches: reverse order, Add<->Remove.
-func inverseBatches(batches [][]wme.Delta) [][]wme.Delta {
-	inv := make([][]wme.Delta, 0, len(batches))
-	for i := len(batches) - 1; i >= 0; i-- {
-		src := batches[i]
-		out := make([]wme.Delta, 0, len(src))
-		for j := len(src) - 1; j >= 0; j-- {
-			d := src[j]
-			op := wme.Add
-			if d.Op == wme.Add {
-				op = wme.Remove
-			}
-			out = append(out, wme.Delta{Op: op, WME: d.WME})
-		}
-		inv = append(inv, out)
-	}
-	return inv
-}
-
 // BenchmarkPolicyReplay compares the paper's MultiQueue spin-lock scheduler
-// against the WorkStealing runtime (Chase-Lev deques + task free lists) on
-// real goroutines: each iteration replays a solved run's wme-delta batches
-// backward then forward through the live match runtime (rete add/remove
-// cancellation restores the state exactly), so allocs/op isolates the
-// scheduler's hot path. WorkStealing should show substantially fewer
-// allocations (recycled tasks, no interface boxing) at equal or better
-// throughput.
+// against the WorkStealing runtime (Chase-Lev deques + task free lists), and
+// the unlink null-activation filter off (the paper's engine) vs on, across
+// eight-puzzle, strips and the chunk-heavy cypress workload: each iteration
+// replays a solved run's wme-delta batches backward then forward through the
+// live match runtime (rete add/remove cancellation restores the state
+// exactly), so allocs/op isolates the match hot path. The cases live in
+// internal/benchkit so cmd/benchjson can run the same matrix and record the
+// trajectory JSON CI's bench-regression leg compares against.
 func BenchmarkPolicyReplay(b *testing.B) {
-	tasks := []struct {
-		name string
-		mk   func() *soar.Task
-	}{
-		{"eight-puzzle", func() *soar.Task { return eightpuzzle.Task(eightpuzzle.Scramble(12, 18)) }},
-		{"strips", strips.Default},
-	}
-	for _, tk := range tasks {
-		for _, pol := range []prun.Policy{prun.MultiQueue, prun.WorkStealing} {
-			b.Run(tk.name+"/"+pol.String(), func(b *testing.B) {
-				eng, batches := capturePolicyRun(b, tk.mk, pol, 4)
-				inv := inverseBatches(batches)
-				executed := 0
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					for _, batch := range inv {
-						eng.RT.RunCycle(batch)
-					}
-					for _, batch := range batches {
-						executed += eng.RT.RunCycle(batch).Tasks
-					}
-				}
-				b.StopTimer()
-				if secs := b.Elapsed().Seconds(); secs > 0 {
-					b.ReportMetric(float64(executed)/secs, "tasks/sec")
-				}
-				if n := eng.NW.Mem.Tombstones(); n != 0 {
-					b.Fatalf("%d tombstones after replay", n)
-				}
-			})
-		}
+	for _, c := range benchkit.PolicyReplayCases() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 

@@ -1,0 +1,187 @@
+// Command benchjson runs the benchmark trajectory harness (the
+// BenchmarkPolicyReplay matrix plus the Fig 6-7/6-8 regenerators from
+// internal/benchkit) under testing.Benchmark and writes the results as
+// BENCH_<git-short-sha>.json: ns/op, allocs/op, bytes/op, and the harness
+// extras (tasks executed and null activations suppressed per op).
+//
+// With -baseline, it additionally compares the fresh results against a
+// committed baseline file and exits nonzero if allocs/op or tasks/op
+// regressed by more than the tolerance — CI's bench-regression leg.
+//
+// Usage:
+//
+//	benchjson [-out file] [-baseline file] [-tolerance 0.10]
+//	          [-match regexp] [-figures=false]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"soarpsme/internal/benchkit"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchFile struct {
+	SHA        string   `json:"sha"`
+	Date       string   `json:"date"`
+	Go         string   `json:"go"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func gitShortSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func run(cases []benchkit.Case, match *regexp.Regexp) []result {
+	var out []result
+	for _, c := range cases {
+		if match != nil && !match.MatchString(c.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s\n", c.Name)
+		r := testing.Benchmark(c.Bench)
+		res := result{
+			Name:        c.Name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson:   %s%s\n", r.String(), r.MemString())
+		out = append(out, res)
+	}
+	return out
+}
+
+// gauges returns the regression-gated metrics of a result: allocs/op always,
+// tasks/op when the case reports it (the replay matrix does, figures don't).
+func gauges(r result) map[string]float64 {
+	g := map[string]float64{"allocs/op": r.AllocsPerOp}
+	if v, ok := r.Extra["tasks/op"]; ok {
+		g["tasks/op"] = v
+	}
+	return g
+}
+
+// compare gates current against base: any gauge more than tol above its
+// baseline value is a regression. Returns the failure descriptions.
+func compare(base, cur []result, tol float64) []string {
+	prev := map[string]result{}
+	for _, r := range base {
+		prev[r.Name] = r
+	}
+	var fails []string
+	for _, r := range cur {
+		b, ok := prev[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline entry, skipping\n", r.Name)
+			continue
+		}
+		bg := gauges(b)
+		for k, curV := range gauges(r) {
+			baseV, ok := bg[k]
+			if !ok || baseV <= 0 {
+				continue
+			}
+			if growth := curV/baseV - 1; growth > tol {
+				fails = append(fails, fmt.Sprintf("%s: %s %.1f -> %.1f (+%.1f%%, tolerance %.0f%%)",
+					r.Name, k, baseV, curV, 100*growth, 100*tol))
+			}
+		}
+	}
+	return fails
+}
+
+func main() {
+	outPath := flag.String("out", "", "output file (default BENCH_<git-short-sha>.json)")
+	basePath := flag.String("baseline", "", "baseline JSON to gate against; exit nonzero on regression")
+	tol := flag.Float64("tolerance", 0.10, "allowed fractional growth in allocs/op and tasks/op")
+	matchExpr := flag.String("match", "", "only run cases whose name matches this regexp")
+	figures := flag.Bool("figures", true, "include the Fig 6-7/6-8 regenerator benches")
+	flag.Parse()
+
+	var match *regexp.Regexp
+	if *matchExpr != "" {
+		var err error
+		if match, err = regexp.Compile(*matchExpr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+
+	cases := benchkit.PolicyReplayCases()
+	if *figures {
+		cases = append(cases, benchkit.FigureCases()...)
+	}
+	f := benchFile{
+		SHA:        gitShortSHA(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Benchmarks: run(cases, match),
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no cases matched")
+		os.Exit(2)
+	}
+
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", f.SHA)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+
+	if *basePath != "" {
+		data, err := os.ReadFile(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base benchFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *basePath, err)
+			os.Exit(1)
+		}
+		if fails := compare(base.Benchmarks, f.Benchmarks, *tol); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (sha %s):\n", len(fails), *basePath, base.SHA)
+			for _, s := range fails {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s (sha %s)\n", *basePath, base.SHA)
+	}
+}

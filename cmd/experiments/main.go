@@ -65,6 +65,7 @@ var runners = []runner{
 	{"extras", "prose measurements (5.1, 6.3)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.Extras(l) })},
 	{"abl-mem", "ablation: hashed vs linear memories (6.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationMemories(l) })},
 	{"abl-share", "ablation: node sharing (5.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationSharing(l) })},
+	{"abl-unlink", "ablation: left/right unlinking + hashed alpha dispatch", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationUnlink(l) })},
 	{"abl-async", "future work: asynchronous elaboration (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAsync(l) })},
 	{"abl-queues", "scheduling: per-cycle oracle queue counts (6.2)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAdaptiveQueues(l) })},
 	{"diagnose", "diagnostics: causes of low-speedup cycles (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.DiagnoseTable(l) })},
@@ -77,6 +78,7 @@ func main() {
 	policyName := flag.String("policy", "", "live-capture scheduling policy: single-queue, multi-queue, or work-stealing (figures replay captured traces in the simulator and are unaffected)")
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	unlink := flag.Bool("unlink", false, "enable left/right unlinking in the capture engines (default off: the paper's engine scheduled every null activation, and the figures measure that task volume)")
 	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the capture engines (0 = off); failed cycles recover via the serial fallback, so results are unchanged")
 	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline for the capture engines (0 = off)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
@@ -104,6 +106,7 @@ func main() {
 
 	l := exp.NewLab()
 	l.SetObserver(observer)
+	l.SetUnlink(*unlink)
 	if *policyName != "" {
 		p, err := prun.ParsePolicy(*policyName)
 		if err != nil {

@@ -25,6 +25,7 @@ func main() {
 	queues := flag.String("queues", "multi", "task queue policy: single or multi (superseded by -policy)")
 	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	noshare := flag.Bool("noshare", false, "disable two-input node sharing")
+	unlink := flag.Bool("unlink", true, "left/right unlinking: run activations against provably empty opposite memories inline instead of scheduling tasks")
 	showStats := flag.Bool("stats", false, "print match statistics")
 	maxCycles := flag.Int("cycles", 10000, "recognize-act cycle bound")
 	watch := flag.Int("watch", 0, "trace level: 1 = firings, 2 = +wme changes")
@@ -67,6 +68,7 @@ func main() {
 		cfg.Policy = p
 	}
 	cfg.Rete.ShareBeta = !*noshare
+	cfg.Rete.Unlink = *unlink
 	if *faultSeed != 0 {
 		cfg.Fault = fault.Seeded(*faultSeed, fault.DefaultRates())
 	}
@@ -111,6 +113,9 @@ func main() {
 			stl += cs.Steals
 		}
 		fmt.Printf(";; task-queue: %d failed pops, %d steals, %d quiescence probes\n", fp, stl, tp)
+		st := &e.NW.Stats
+		fmt.Printf(";; match filtering: %d null activations suppressed, alpha dispatch %d hits / %d misses\n",
+			st.NullSuppressed.Load(), st.AlphaHits.Load(), st.AlphaMisses.Load())
 	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "psme:", err)

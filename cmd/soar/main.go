@@ -33,6 +33,7 @@ func main() {
 	queues := flag.String("queues", "multi", "task queue policy: single or multi (superseded by -policy)")
 	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
+	unlink := flag.Bool("unlink", true, "left/right unlinking: run activations against provably empty opposite memories inline instead of scheduling tasks")
 	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
 	decisions := flag.Int("decisions", 400, "decision-cycle bound")
 	dtrace := flag.Bool("dtrace", false, "print decision-level trace (formerly -trace)")
@@ -68,6 +69,7 @@ func main() {
 
 	cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: *chunking, MaxDecisions: *decisions}
 	cfg.Engine.Processes = *procs
+	cfg.Engine.Rete.Unlink = *unlink
 	cfg.Engine.Policy = prun.MultiQueue
 	if *queues == "single" {
 		cfg.Engine.Policy = prun.SingleQueue

@@ -103,9 +103,15 @@ type Engine struct {
 	mCyclesFailed *obs.Counter
 	mCyclesRecov  *obs.Counter
 	mBadDeltas    *obs.Counter
+	mNullSupp     *obs.Counter
+	mAlphaHits    *obs.Counter
+	mAlphaMisses  *obs.Counter
 	lastQueue     spin.Counts
 	lastLine      spin.Counts
 	lastAccess    uint64
+	lastNullSupp  uint64
+	lastAlphaHit  uint64
+	lastAlphaMiss uint64
 }
 
 // New creates an empty engine.
@@ -141,6 +147,9 @@ func New(cfg Config) *Engine {
 		e.mCyclesFailed = o.Counter("match_cycles_failed_total")
 		e.mCyclesRecov = o.Counter("match_cycles_recovered_total")
 		e.mBadDeltas = o.Counter("wm_bad_deltas_total")
+		e.mNullSupp = o.Counter("null_activations_suppressed_total")
+		e.mAlphaHits = o.Counter("alpha_dispatch_hits_total")
+		e.mAlphaMisses = o.Counter("alpha_dispatch_misses_total")
 		// The match workers render on tid lanes 1..P of trace pid 0.
 		o.Tracer().SetProcessName(0, "soarpsme match pipeline")
 		o.Tracer().SetThreadName(0, 0, "control")
@@ -180,6 +189,16 @@ func (e *Engine) flushContention() {
 	al, ar := e.NW.Mem.AccessTotals()
 	e.mBucketAccess.Add(delta(al+ar, e.lastAccess))
 	e.lastAccess = al + ar
+
+	ns := uint64(e.NW.Stats.NullSuppressed.Load())
+	e.mNullSupp.Add(delta(ns, e.lastNullSupp))
+	e.lastNullSupp = ns
+	ah := uint64(e.NW.Stats.AlphaHits.Load())
+	e.mAlphaHits.Add(delta(ah, e.lastAlphaHit))
+	e.lastAlphaHit = ah
+	am := uint64(e.NW.Stats.AlphaMisses.Load())
+	e.mAlphaMisses.Add(delta(am, e.lastAlphaMiss))
+	e.lastAlphaMiss = am
 }
 
 // Halted reports whether a (halt) action has executed.

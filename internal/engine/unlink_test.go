@@ -1,0 +1,196 @@
+// Unlinking conformance: left/right unlinking is a pure scheduling filter,
+// so the per-cycle conflict sets must be byte-identical with the filter on
+// and off, for every workload, at every process count. The test lives in an
+// external package because the Soar workloads import engine.
+package engine_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/soar"
+	"soarpsme/internal/tasks/cypress"
+	"soarpsme/internal/tasks/eightpuzzle"
+	"soarpsme/internal/tasks/strips"
+	"soarpsme/internal/wme"
+)
+
+// csFingerprint renders the live conflict set plus the WM size as a
+// canonical string (production names and CE-ordered time tags, sorted).
+func csFingerprint(e *engine.Engine) string {
+	insts := e.CS.All()
+	lines := make([]string, 0, len(insts))
+	for _, in := range insts {
+		var sb strings.Builder
+		sb.WriteString(in.Prod.Name)
+		sb.WriteByte('(')
+		for i, w := range in.WMEs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", w.TimeTag)
+		}
+		sb.WriteByte(')')
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("wm=%d cs=%d %s", e.WM.Len(), len(insts), strings.Join(lines, " "))
+}
+
+// unlinkRun is one workload execution: per-cycle fingerprints plus the
+// suppression count and the post-run audit result.
+type unlinkRun struct {
+	fps      []string
+	suppress int64
+	auditErr error
+}
+
+func runCypressUnlink(t *testing.T, procs int, unlink bool) unlinkRun {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Processes = procs
+	cfg.Policy = prun.WorkStealing
+	cfg.Rete.Unlink = unlink
+	e := engine.New(cfg)
+	sys := cypress.Generate(cypress.Params{Productions: 40, Cycles: 15, Seed: 9})
+	if err := e.LoadProgram(sys.Source); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+	var r unlinkRun
+	for c := 0; c < sys.Params.Cycles; c++ {
+		e.ApplyAndMatch(drv.Batch())
+		r.fps = append(r.fps, csFingerprint(e))
+	}
+	r.suppress = e.NW.Stats.NullSuppressed.Load()
+	r.auditErr = e.AuditInvariants()
+	return r
+}
+
+// captureSoarTrajectory runs a Soar task serially once and records every
+// applied wme-delta batch. Decisions depend on conflict-resolution order,
+// which is schedule-sensitive, so on/off conformance is compared on a fixed
+// WM trajectory: Soar productions only add wmes and startup wmes are
+// permanent, so every Remove in the captured batches targets a wme an
+// earlier captured batch added — the batches replay cleanly through a fresh
+// agent of the same task.
+func captureSoarTrajectory(t *testing.T, mk func() *soar.Task) [][]wme.Delta {
+	t.Helper()
+	cfg := soar.Config{Engine: engine.DefaultConfig(), MaxDecisions: 40}
+	cfg.Engine.Rete.Unlink = false
+	a, err := soar.New(cfg, mk())
+	if err != nil {
+		t.Fatalf("soar.New: %v", err)
+	}
+	var batches [][]wme.Delta
+	a.Eng.OnApply = func(ds []wme.Delta) {
+		batches = append(batches, append([]wme.Delta(nil), ds...))
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatalf("capture run: %v", err)
+	}
+	return batches
+}
+
+// replaySoarUnlink pushes a captured trajectory through a fresh agent's
+// engine (no decision loop) at the given configuration.
+func replaySoarUnlink(t *testing.T, mk func() *soar.Task, batches [][]wme.Delta, procs int, unlink bool) unlinkRun {
+	t.Helper()
+	cfg := soar.Config{Engine: engine.DefaultConfig(), MaxDecisions: 40}
+	cfg.Engine.Processes = procs
+	cfg.Engine.Policy = prun.WorkStealing
+	cfg.Engine.Rete.Unlink = unlink
+	a, err := soar.New(cfg, mk())
+	if err != nil {
+		t.Fatalf("soar.New: %v", err)
+	}
+	var r unlinkRun
+	for _, batch := range batches {
+		a.Eng.ApplyAndMatch(batch)
+		r.fps = append(r.fps, csFingerprint(a.Eng))
+	}
+	r.suppress = a.Eng.NW.Stats.NullSuppressed.Load()
+	r.auditErr = a.Eng.AuditInvariants()
+	return r
+}
+
+// TestUnlinkConformance compares every workload's per-cycle conflict-set
+// fingerprints with unlinking on vs off across process counts: the filter
+// must change how much work is scheduled (suppress > 0 when on) and nothing
+// else. Runs under the CI -race leg.
+func TestUnlinkConformance(t *testing.T) {
+	procCounts := []int{1, 4, 13}
+	workloads := []struct {
+		name string
+		run  func(t *testing.T, procs int, unlink bool) unlinkRun
+	}{
+		{"cypress", runCypressUnlink},
+	}
+	for _, soarWL := range []struct {
+		name string
+		mk   func() *soar.Task
+	}{
+		{"eight-puzzle", eightpuzzle.Default},
+		{"strips", strips.Default},
+	} {
+		mk := soarWL.mk
+		var (
+			batches [][]wme.Delta
+			once    sync.Once
+		)
+		workloads = append(workloads, struct {
+			name string
+			run  func(t *testing.T, procs int, unlink bool) unlinkRun
+		}{soarWL.name, func(t *testing.T, procs int, unlink bool) unlinkRun {
+			once.Do(func() { batches = captureSoarTrajectory(t, mk) })
+			return replaySoarUnlink(t, mk, batches, procs, unlink)
+		}})
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			t.Parallel()
+			base := wl.run(t, 1, false)
+			if base.auditErr != nil {
+				t.Fatalf("baseline audit: %v", base.auditErr)
+			}
+			if base.suppress != 0 {
+				t.Fatalf("unlink=off suppressed %d activations, want 0", base.suppress)
+			}
+			for _, procs := range procCounts {
+				if testing.Short() && procs == 13 {
+					continue
+				}
+				for _, unlink := range []bool{false, true} {
+					procs, unlink := procs, unlink
+					t.Run(fmt.Sprintf("p%d/unlink=%v", procs, unlink), func(t *testing.T) {
+						r := wl.run(t, procs, unlink)
+						if r.auditErr != nil {
+							t.Fatalf("audit: %v", r.auditErr)
+						}
+						if len(r.fps) != len(base.fps) {
+							t.Fatalf("cycle count %d != baseline %d", len(r.fps), len(base.fps))
+						}
+						for c := range r.fps {
+							if r.fps[c] != base.fps[c] {
+								t.Fatalf("cycle %d diverged from unlink=off serial baseline:\n got  %s\n want %s",
+									c, r.fps[c], base.fps[c])
+							}
+						}
+						if unlink && r.suppress == 0 {
+							t.Fatalf("unlink=on suppressed no activations (filter inert)")
+						}
+						if !unlink && r.suppress != 0 {
+							t.Fatalf("unlink=off suppressed %d activations", r.suppress)
+						}
+					})
+				}
+			}
+		})
+	}
+}

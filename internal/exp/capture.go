@@ -53,6 +53,12 @@ type Capture struct {
 	ChunkNew2In []int
 	// SharedTwoInput counts join nodes reused by run-time additions.
 	SharedTwoInput int
+	// NullSuppressed / AlphaHits / AlphaMisses are the engine's match-time
+	// filtering counters at the end of the run (unlinking and hashed alpha
+	// dispatch — the abl-unlink experiment).
+	NullSuppressed int64
+	AlphaHits      int64
+	AlphaMisses    int64
 	Halted         bool
 	Decisions      int
 	Moves          int // operator decisions in the top goal
@@ -98,6 +104,9 @@ func (c *Capture) harvest(e *engine.Engine) {
 			c.TaskProdCEs = append(c.TaskProdCEs, countCEs(p.AST))
 		}
 	}
+	c.NullSuppressed = e.NW.Stats.NullSuppressed.Load()
+	c.AlphaHits = e.NW.Stats.AlphaHits.Load()
+	c.AlphaMisses = e.NW.Stats.AlphaMisses.Load()
 }
 
 func countCEs(p *ops5.Production) int {
@@ -143,10 +152,20 @@ type Lab struct {
 	deadline time.Duration
 }
 
-// NewLab returns an empty lab with default network options.
+// NewLab returns an empty lab with default network options — except that
+// left/right unlinking is off: the paper's engine scheduled every null
+// activation as a task, and the reproduced tables and figures measure that
+// task volume. AblationUnlink re-runs with the filter on.
 func NewLab() *Lab {
-	return &Lab{cache: map[string]*Capture{}, opts: rete.DefaultOptions(), policy: engine.DefaultConfig().Policy}
+	opts := rete.DefaultOptions()
+	opts.Unlink = false
+	return &Lab{cache: map[string]*Capture{}, opts: opts, policy: engine.DefaultConfig().Policy}
 }
+
+// SetUnlink toggles left/right unlinking on every engine the lab creates
+// from now on (the abl-unlink experiment; NewLab defaults to off for
+// paper fidelity).
+func (l *Lab) SetUnlink(on bool) { l.opts.Unlink = on }
 
 // SetObserver attaches an observability handle to every engine the lab
 // creates from now on (live /metrics while experiments run).
@@ -184,7 +203,7 @@ func (l *Lab) engCfg() engine.Config {
 // chunks learned in a DuringChunk run of the same task are transferred
 // into a fresh agent before the run.
 func (l *Lab) SoarTask(name string, task *soar.Task, mode Mode) (*Capture, error) {
-	key := fmt.Sprintf("%s/%v/org%d", name, mode, l.opts.Organization)
+	key := fmt.Sprintf("%s/%v/org%d/u%v", name, mode, l.opts.Organization, l.opts.Unlink)
 	if c, ok := l.cache[key]; ok {
 		return c, nil
 	}
@@ -287,7 +306,7 @@ func (l *Lab) Strips(mode Mode) (*Capture, error) {
 // only the task productions; DuringChunk adds the 26 chunks at their
 // scripted points; AfterChunk preloads all chunks before driving.
 func (l *Lab) Cypress(mode Mode) (*Capture, error) {
-	key := fmt.Sprintf("cypress/%v/org%d", mode, l.opts.Organization)
+	key := fmt.Sprintf("cypress/%v/org%d/u%v", mode, l.opts.Organization, l.opts.Unlink)
 	if c, ok := l.cache[key]; ok {
 		return c, nil
 	}

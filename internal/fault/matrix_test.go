@@ -102,8 +102,11 @@ func TestFaultMatrix(t *testing.T) {
 			// Dropped steals perturb the schedule but never fail a cycle.
 		},
 		{
-			name:         "seeded-panics",
-			mk:           func() *fault.Injector { return fault.Seeded(11, fault.Rates{Panic: 600}) },
+			name: "seeded-panics",
+			// ~9% per exec visit: unlinking suppresses most null activations,
+			// leaving this workload only ~40 exec visits per run, so the rate
+			// must be hot enough to fire at least once within that budget.
+			mk:           func() *fault.Injector { return fault.Seeded(11, fault.Rates{Panic: 6000}) },
 			wantRecovery: true,
 		},
 	}

@@ -257,6 +257,10 @@ func (s sched) Push(t *rete.Task) {
 	q.lock.Unlock()
 }
 
+// Filtered implements rete.ActivationFilter: the unlink fast path consults
+// it before executing an activation inline, mirroring Push's drop.
+func (s sched) Filtered(id rete.NodeID) bool { return s.rt.filtered(id) }
+
 // wsSched is the per-worker scheduler of the WorkStealing policy: it pushes
 // onto the worker's own lock-free deque and recycles executed tasks through
 // a per-worker free list (rete.Exec obtains child tasks via NewTask, so
@@ -299,6 +303,9 @@ func (s *wsSched) Push(t *rete.Task) {
 	rt.pending.Add(1)
 	s.d.PushBottom(t)
 }
+
+// Filtered implements rete.ActivationFilter (see sched.Filtered).
+func (s *wsSched) Filtered(id rete.NodeID) bool { return s.rt.filtered(id) }
 
 // recycle returns an executed task to the free list. The task must no
 // longer be reachable from any queue (it was just executed by this worker).
@@ -366,6 +373,12 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 		if inj != nil {
 			inj.rotate()
 			rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
+				if rt.filtered(n.ID) {
+					return
+				}
+				if rt.nw.FilterRight(n, op, w, inj) {
+					return
+				}
 				t := inj.NewTask(n)
 				if t == nil {
 					return
@@ -376,8 +389,12 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 			continue
 		}
 		s := rt.injectSched()
+		var si rete.Scheduler = s
 		rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
+				return
+			}
+			if rt.nw.FilterRight(n, op, w, si) {
 				return
 			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: w})
@@ -405,6 +422,12 @@ func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 		if inj != nil {
 			inj.rotate()
 			rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
+				if rt.filtered(n.ID) {
+					return
+				}
+				if rt.nw.FilterRight(n, wme.Add, ww, inj) {
+					return
+				}
 				t := inj.NewTask(n)
 				if t == nil {
 					return
@@ -415,8 +438,12 @@ func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 			continue
 		}
 		s := rt.injectSched()
+		var si rete.Scheduler = s
 		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
+				return
+			}
+			if rt.nw.FilterRight(n, wme.Add, ww, si) {
 				return
 			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
@@ -645,7 +672,9 @@ func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *a
 	defer wg.Done()
 	ctl := rt.ctl
 	own := rt.queues[id%len(rt.queues)]
-	mySched := sched{rt: rt, q: own}
+	// Box the scheduler into the interface once; converting per exec call
+	// would allocate on the hot path.
+	var mySched rete.Scheduler = sched{rt: rt, q: own}
 	h := rt.obs
 	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
 	defer w.flush(tasks, totalCost)
@@ -765,6 +794,9 @@ func (s *serialSched) Push(t *rete.Task) {
 	s.stack = append(s.stack, t)
 }
 
+// Filtered implements rete.ActivationFilter (see sched.Filtered).
+func (s *serialSched) Filtered(id rete.NodeID) bool { return s.rt.filtered(id) }
+
 // ReplaySerial rebuilds match state from scratch on the calling goroutine:
 // every wme in all is injected and its activation chain run to completion,
 // depth-first, before the next wme is injected. It is the engine's
@@ -781,6 +813,9 @@ func (rt *Runtime) ReplaySerial(all []*wme.WME) CycleStats {
 	for _, w := range all {
 		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
+				return
+			}
+			if rt.nw.FilterRight(n, wme.Add, ww, s) {
 				return
 			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})

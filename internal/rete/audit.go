@@ -29,7 +29,11 @@ const auditMaxErrors = 20
 //   - not/NCC blocking counts equal a recount of the matching right
 //     entries on the entry's line;
 //   - no duplicate live entries (a duplicate means a double insert
-//     slipped past the insert-then-scan discipline).
+//     slipped past the insert-then-scan discipline);
+//   - the per-node unlink counters equal a recount of the live entries
+//     actually stored for each node — in particular an excised node must
+//     have zero of both (a stale counter would wrongly suppress, or fail
+//     to suppress, activations).
 //
 // A clean audit returns nil. The engine exposes this as AuditInvariants,
 // which additionally cross-checks P-node tokens against the conflict set.
@@ -68,6 +72,8 @@ func (nw *Network) Audit(wm *wme.Memory) []error {
 	}
 
 	m := nw.Mem
+	leftTally := map[NodeID]int32{}
+	rightTally := map[NodeID]int32{}
 	for i := range m.lines {
 		l := &m.lines[i]
 		l.Lock.Lock()
@@ -76,6 +82,7 @@ func (nw *Network) Audit(wm *wme.Memory) []error {
 				add("line %d: left tombstone at node %d (lost conjugate pair)", i, e.node)
 				continue
 			}
+			leftTally[e.node]++
 			if m.line(e.node, e.key) != l {
 				add("line %d: left entry (node %d, key %#x) on wrong line", i, e.node, e.key)
 			}
@@ -107,6 +114,7 @@ func (nw *Network) Audit(wm *wme.Memory) []error {
 				add("line %d: right tombstone at node %d (lost conjugate pair)", i, e.node)
 				continue
 			}
+			rightTally[e.node]++
 			if m.line(e.node, e.key) != l {
 				add("line %d: right entry (node %d, key %#x) on wrong line", i, e.node, e.key)
 			}
@@ -149,6 +157,23 @@ func (nw *Network) Audit(wm *wme.Memory) []error {
 		if len(errs) >= auditMaxErrors {
 			errs = append(errs, fmt.Errorf("audit: error limit reached, stopping"))
 			return errs
+		}
+	}
+
+	// Unlink-counter cross-check: every counter slot must equal the number
+	// of live entries recounted above (zero for nodes with none, including
+	// excised nodes whose IDs may linger in the counter arrays).
+	for id := range m.nc.left {
+		node := NodeID(id)
+		if got, want := m.nc.left[id].Load(), leftTally[node]; got != want {
+			if !add("node %v: left unlink counter %d != live entries %d", nodes[node], got, want) {
+				break
+			}
+		}
+		if got, want := m.nc.right[id].Load(), rightTally[node]; got != want {
+			if !add("node %v: right unlink counter %d != live entries %d", nodes[node], got, want) {
+				break
+			}
 		}
 	}
 

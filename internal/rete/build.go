@@ -89,6 +89,9 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 
 	b.info.Prod = prod
 	b.finishInfo()
+	// Size the unlink counters for the new node IDs while still quiescent
+	// (match workers read them with atomics and never reallocate).
+	nw.Mem.GrowCounts(int(nw.nextID) + 1)
 	b.info.SpliceTime = time.Since(start)
 	return prod, b.info, nil
 }

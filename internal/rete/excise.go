@@ -95,8 +95,11 @@ func (nw *Network) detach(n *BetaNode) {
 	}
 }
 
-// PurgeNode removes every memory entry stored under a node (both tables).
+// PurgeNode removes every memory entry stored under a node (both tables)
+// and zeroes its unlink counters, so a later production re-using the slot
+// range starts correctly unlinked.
 func (m *Mem) PurgeNode(node NodeID) {
+	m.PurgeCounts(node)
 	for i := range m.lines {
 		l := &m.lines[i]
 		l.Lock.Lock()

@@ -57,6 +57,15 @@ type TaskSource interface {
 	NewTask(n *BetaNode) *Task
 }
 
+// ActivationFilter is an optional Scheduler extension: Filtered reports
+// whether the runtime is currently dropping activations of node n (the
+// run-time production-addition update filter of §5.2). The unlink fast
+// path must consult it before executing a child activation inline, because
+// an inline execution bypasses the scheduler's own Push-time drop.
+type ActivationFilter interface {
+	Filtered(n NodeID) bool
+}
+
 // Activation cost model, in simulated microseconds on the paper's 0.75-MIPS
 // NS32032. Calibrated so the mean task cost lands near the ~400 µs of
 // Table 6-1 on the three reproduced workloads.
@@ -68,103 +77,205 @@ const (
 	CostPNode     = 220 // conflict-set update
 )
 
+// emitter schedules the child activations a task produces and carries the
+// per-activation accounting: tokens emitted, plus the extra modeled cost
+// of children executed inline by the unlink fast path. One emitter lives
+// on the stack per Exec call and the exec bodies invoke em.emit directly,
+// so the hot path allocates no closure.
+type emitter struct {
+	nw        *Network
+	s         Scheduler
+	src       TaskSource
+	flt       ActivationFilter
+	parentSeq int64
+	emitted   int
+	cost      int64
+}
+
+func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
+	nw := em.nw
+	for _, c := range from.Children {
+		dir := DirLeft
+		if c.Kind == KindJoinBB && c.RightParent == from {
+			dir = DirRight
+		}
+		if dir == DirLeft && nw.suppressLeft(c) && (em.flt == nil || !em.flt.Filtered(c.ID)) {
+			// Unlink fast path: the child join's right memory is provably
+			// empty, so run its own memory insert/remove inline instead of
+			// scheduling a task. joinLeft re-checks the counter under the
+			// line lock; in the rare relink race the scan still runs and
+			// its matches re-enter this emitter.
+			nw.Stats.NullSuppressed.Add(1)
+			em.cost += nw.joinLeft(c, op, tok, em)
+			continue
+		}
+		// emitted counts filtered children too, keeping the modeled
+		// cost identical to the Push-then-drop schedulers.
+		em.emitted++
+		if em.src != nil {
+			ct := em.src.NewTask(c)
+			if ct == nil {
+				continue
+			}
+			*ct = Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq}
+			em.s.Push(ct)
+			continue
+		}
+		em.s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq})
+	}
+}
+
+// suppressLeft reports whether a left activation of c may be executed
+// inline by the unlink fast path: a plain join whose right memory is
+// provably empty. Not/NCC nodes never qualify on the left — an empty
+// right memory means the token PASSES the negation and must still emit.
+func (nw *Network) suppressLeft(c *BetaNode) bool {
+	return nw.Opts.Unlink && c.Kind == KindJoin && nw.Mem.RightCount(c.ID) == 0
+}
+
+// suppressRight reports whether a right activation of c may be executed
+// inline: a join or not node whose left memory is provably empty. The two
+// sides are never unlinked at once — the own-side memory op always runs,
+// and the opposite-side counter is re-checked under the line lock, so a
+// simultaneous "both empty" decision cannot lose a pairing (whichever
+// activation takes the shared line second observes the first's insert).
+// Top-level joins (Parent == nil) match the implicit dummy token and are
+// never suppressed; NCC partners must always record their sub-result.
+func (nw *Network) suppressRight(c *BetaNode) bool {
+	if !nw.Opts.Unlink || c.Parent == nil || (c.Kind != KindJoin && c.Kind != KindNot) {
+		return false
+	}
+	return nw.Mem.LeftCount(c.ID) == 0
+}
+
+// rightScanSkip reports — under the line lock, after the activation's own
+// memory op — that node n has no live right entries anywhere, so the
+// opposite-side scan can be skipped. The unlocked counter reads in
+// suppressLeft/suppressRight are only a scheduling heuristic; this locked
+// re-check is what makes skipping exact: a token and wme that pass n's
+// equality tests share a hash key and therefore a line, so the line lock
+// serializes their memory ops, and reading the counter after our own
+// insert means any concurrent opposite-side insert either is already
+// visible here or will see our entry when its own scan runs.
+func (nw *Network) rightScanSkip(n *BetaNode) bool {
+	return nw.Opts.Unlink && nw.Mem.RightCount(n.ID) == 0
+}
+
+// leftScanSkip is the mirror of rightScanSkip for left memories.
+func (nw *Network) leftScanSkip(n *BetaNode) bool {
+	return nw.Opts.Unlink && nw.Mem.LeftCount(n.ID) == 0
+}
+
+// FilterRight applies the unlink fast path to a right activation arriving
+// from the alpha network: when the destination's left memory is provably
+// empty, the activation runs inline — its own memory insert/remove still
+// happens; only the left scan and the task allocation/scheduling are
+// skipped — and FilterRight returns true. Matches discovered in the rare
+// relink race are scheduled through s. Callers must apply any update
+// filter before calling (as they would before Push).
+func (nw *Network) FilterRight(n *BetaNode, op wme.Op, w *wme.WME, s Scheduler) bool {
+	if !nw.suppressRight(n) {
+		return false
+	}
+	src, _ := s.(TaskSource)
+	flt, _ := s.(ActivationFilter)
+	em := emitter{nw: nw, s: s, src: src, flt: flt}
+	nw.Stats.NullSuppressed.Add(1)
+	if n.Kind == KindJoin {
+		nw.joinRight(n, op, w, &em)
+	} else {
+		nw.notRight(n, op, w, &em)
+	}
+	nw.Stats.TokensEmitted.Add(int64(em.emitted))
+	return true
+}
+
 // Exec executes one node activation, pushing child activations onto s.
 // It returns the task's modeled cost. Exec is safe for concurrent use by
 // many workers.
 func (nw *Network) Exec(t *Task, s Scheduler) int64 {
 	nw.Stats.Activations.Add(1)
-	var cost int64 = CostBetaBase
-	emitted := 0
 	src, _ := s.(TaskSource)
-	emit := func(from *BetaNode, tok *Token, op wme.Op) {
-		for _, c := range from.Children {
-			dir := DirLeft
-			if c.Kind == KindJoinBB && c.RightParent == from {
-				dir = DirRight
-			}
-			// emitted counts filtered children too, keeping the modeled
-			// cost identical to the Push-then-drop schedulers.
-			emitted++
-			if src != nil {
-				ct := src.NewTask(c)
-				if ct == nil {
-					continue
-				}
-				*ct = Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq}
-				s.Push(ct)
-				continue
-			}
-			s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: t.Seq})
-		}
-	}
+	flt, _ := s.(ActivationFilter)
+	em := emitter{nw: nw, s: s, src: src, flt: flt, parentSeq: t.Seq}
+	var cost int64 = CostBetaBase
 
 	n := t.Node
 	switch n.Kind {
 	case KindJoin:
-		cost += nw.execJoin(t, emit)
+		if t.Dir == DirLeft {
+			cost += nw.joinLeft(n, t.Op, t.Tok, &em)
+		} else {
+			cost += nw.joinRight(n, t.Op, t.W, &em)
+		}
 	case KindNot:
-		cost += nw.execNot(t, emit)
+		if t.Dir == DirLeft {
+			cost += nw.notLeft(n, t.Op, t.Tok, &em)
+		} else {
+			cost += nw.notRight(n, t.Op, t.W, &em)
+		}
 	case KindNCC:
-		cost += nw.execNCC(t, emit)
+		cost += nw.execNCC(t, &em)
 	case KindNCCPartner:
-		cost += nw.execPartner(t, emit)
+		cost += nw.execPartner(t, &em)
 	case KindJoinBB:
-		cost += nw.execJoinBB(t, emit)
+		cost += nw.execJoinBB(t, &em)
 	case KindP:
 		cost += nw.execP(t)
 	}
-	cost += int64(emitted) * CostEmit
-	nw.Stats.TokensEmitted.Add(int64(emitted))
-	if emitted == 0 {
+	cost += em.cost + int64(em.emitted)*CostEmit
+	nw.Stats.TokensEmitted.Add(int64(em.emitted))
+	if em.emitted == 0 {
 		nw.Stats.NullActs.Add(1)
 	}
 	return cost
 }
 
-func (nw *Network) execJoin(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
-	n := t.Node
+func (nw *Network) joinLeft(n *BetaNode, op wme.Op, tok *Token, em *emitter) int64 {
 	var cost int64
-	if t.Dir == DirLeft {
-		key := n.leftKeyFromToken(t.Tok)
-		line := nw.Mem.line(n.ID, key)
-		var matches []*wme.WME
-		line.Lock.Lock()
-		proceed := true
-		if t.Op == wme.Add {
-			_, annihilated := line.addLeft(n.ID, key, t.Tok, 0)
-			proceed = !annihilated
-		} else {
-			_, found := line.removeLeft(n.ID, key, t.Tok)
-			proceed = found
-		}
-		comparisons := 0
-		if proceed {
-			line.eachRight(n.ID, key, func(e *REntry) {
-				ok, c := n.testPair(t.Tok, e.w)
-				comparisons += c
-				if ok {
-					matches = append(matches, e.w)
-				}
-			})
-		}
-		line.Lock.Unlock()
-		nw.Stats.Comparisons.Add(int64(comparisons))
-		cost += CostMemInsert + int64(comparisons)*CostCompare
-		for _, w := range matches {
-			emit(n, Extend(t.Tok, n.RightCE, w), t.Op)
-		}
-		return cost
+	key := n.leftKeyFromToken(tok)
+	line := nw.Mem.line(n.ID, key)
+	var matches []*wme.WME
+	line.Lock.Lock()
+	proceed := true
+	if op == wme.Add {
+		_, annihilated := line.addLeft(n.ID, key, tok, 0)
+		proceed = !annihilated
+	} else {
+		_, found := line.removeLeft(n.ID, key, tok)
+		proceed = found
 	}
+	comparisons := 0
+	if proceed && !nw.rightScanSkip(n) {
+		line.eachRight(n.ID, key, func(e *REntry) {
+			ok, c := n.testPair(tok, e.w)
+			comparisons += c
+			if ok {
+				matches = append(matches, e.w)
+			}
+		})
+	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	cost += CostMemInsert + int64(comparisons)*CostCompare
+	for _, w := range matches {
+		em.emit(n, Extend(tok, n.RightCE, w), op)
+	}
+	return cost
+}
+
+func (nw *Network) joinRight(n *BetaNode, op wme.Op, w *wme.WME, em *emitter) int64 {
 	// Right activation: a wme from the alpha memory.
-	key := n.rightKeyFromWME(t.W)
+	var cost int64
+	key := n.rightKeyFromWME(w)
 	line := nw.Mem.line(n.ID, key)
 	var matches []*Token
 	line.Lock.Lock()
 	proceed := true
-	if t.Op == wme.Add {
-		proceed = !line.addRight(n.ID, key, t.W)
+	if op == wme.Add {
+		proceed = !line.addRight(n.ID, key, w)
 	} else {
-		proceed = line.removeRight(n.ID, key, t.W)
+		proceed = line.removeRight(n.ID, key, w)
 	}
 	comparisons := 0
 	if proceed {
@@ -172,9 +283,9 @@ func (nw *Network) execJoin(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64
 			// Top-level join: the left memory implicitly holds exactly the
 			// dummy top token (first CEs have no join tests).
 			matches = append(matches, DummyTop)
-		} else {
+		} else if !nw.leftScanSkip(n) {
 			line.eachLeft(n.ID, key, func(e *LEntry) {
-				ok, c := n.testPair(e.tok, t.W)
+				ok, c := n.testPair(e.tok, w)
 				comparisons += c
 				if ok {
 					matches = append(matches, e.tok)
@@ -186,53 +297,56 @@ func (nw *Network) execJoin(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64
 	nw.Stats.Comparisons.Add(int64(comparisons))
 	cost += CostMemInsert + int64(comparisons)*CostCompare
 	for _, tok := range matches {
-		emit(n, Extend(tok, n.RightCE, t.W), t.Op)
+		em.emit(n, Extend(tok, n.RightCE, w), op)
 	}
 	return cost
 }
 
-func (nw *Network) execNot(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
-	n := t.Node
+func (nw *Network) notLeft(n *BetaNode, op wme.Op, tok *Token, em *emitter) int64 {
 	var cost int64
-	if t.Dir == DirLeft {
-		key := n.leftKeyFromToken(t.Tok)
-		line := nw.Mem.line(n.ID, key)
-		comparisons := 0
-		pass := false
-		line.Lock.Lock()
-		if t.Op == wme.Add {
-			var count int32
+	key := n.leftKeyFromToken(tok)
+	line := nw.Mem.line(n.ID, key)
+	comparisons := 0
+	pass := false
+	line.Lock.Lock()
+	if op == wme.Add {
+		var count int32
+		if !nw.rightScanSkip(n) {
 			line.eachRight(n.ID, key, func(e *REntry) {
-				ok, c := n.testPair(t.Tok, e.w)
+				ok, c := n.testPair(tok, e.w)
 				comparisons += c
 				if ok {
 					count++
 				}
 			})
-			_, annihilated := line.addLeft(n.ID, key, t.Tok, count)
-			pass = !annihilated && count == 0
-		} else {
-			e, found := line.removeLeft(n.ID, key, t.Tok)
-			pass = found && e.count == 0
 		}
-		line.Lock.Unlock()
-		nw.Stats.Comparisons.Add(int64(comparisons))
-		cost += CostMemInsert + int64(comparisons)*CostCompare
-		if pass {
-			emit(n, t.Tok, t.Op)
-		}
-		return cost
+		_, annihilated := line.addLeft(n.ID, key, tok, count)
+		pass = !annihilated && count == 0
+	} else {
+		e, found := line.removeLeft(n.ID, key, tok)
+		pass = found && e.count == 0
 	}
+	line.Lock.Unlock()
+	nw.Stats.Comparisons.Add(int64(comparisons))
+	cost += CostMemInsert + int64(comparisons)*CostCompare
+	if pass {
+		em.emit(n, tok, op)
+	}
+	return cost
+}
+
+func (nw *Network) notRight(n *BetaNode, op wme.Op, w *wme.WME, em *emitter) int64 {
 	// Right activation: a blocking wme appears or disappears.
-	key := n.rightKeyFromWME(t.W)
+	var cost int64
+	key := n.rightKeyFromWME(w)
 	line := nw.Mem.line(n.ID, key)
 	var flips []*Token
 	comparisons := 0
 	line.Lock.Lock()
-	if t.Op == wme.Add {
-		if !line.addRight(n.ID, key, t.W) {
+	if op == wme.Add {
+		if !line.addRight(n.ID, key, w) && !nw.leftScanSkip(n) {
 			line.eachLeft(n.ID, key, func(e *LEntry) {
-				ok, c := n.testPair(e.tok, t.W)
+				ok, c := n.testPair(e.tok, w)
 				comparisons += c
 				if ok {
 					e.count++
@@ -243,9 +357,9 @@ func (nw *Network) execNot(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 
 			})
 		}
 	} else {
-		if line.removeRight(n.ID, key, t.W) {
+		if line.removeRight(n.ID, key, w) && !nw.leftScanSkip(n) {
 			line.eachLeft(n.ID, key, func(e *LEntry) {
-				ok, c := n.testPair(e.tok, t.W)
+				ok, c := n.testPair(e.tok, w)
 				comparisons += c
 				if ok {
 					e.count--
@@ -262,16 +376,16 @@ func (nw *Network) execNot(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 
 	// A new blocking wme retracts previously passing tokens; a removed
 	// blocker re-admits them.
 	flipOp := wme.Remove
-	if t.Op == wme.Remove {
+	if op == wme.Remove {
 		flipOp = wme.Add
 	}
 	for _, tok := range flips {
-		emit(n, tok, flipOp)
+		em.emit(n, tok, flipOp)
 	}
 	return cost
 }
 
-func (nw *Network) execNCC(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+func (nw *Network) execNCC(t *Task, em *emitter) int64 {
 	n := t.Node
 	key := t.Tok.Hash()
 	line := nw.Mem.line(n.ID, key)
@@ -280,12 +394,14 @@ func (nw *Network) execNCC(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 
 	line.Lock.Lock()
 	if t.Op == wme.Add {
 		var count int32
-		line.eachRight(n.ID, key, func(e *REntry) {
-			comparisons++
-			if e.owner.Equal(t.Tok) {
-				count++
-			}
-		})
+		if !nw.rightScanSkip(n) {
+			line.eachRight(n.ID, key, func(e *REntry) {
+				comparisons++
+				if e.owner.Equal(t.Tok) {
+					count++
+				}
+			})
+		}
 		_, annihilated := line.addLeft(n.ID, key, t.Tok, count)
 		pass = !annihilated && count == 0
 	} else {
@@ -295,12 +411,12 @@ func (nw *Network) execNCC(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 
 	line.Lock.Unlock()
 	nw.Stats.Comparisons.Add(int64(comparisons))
 	if pass {
-		emit(n, t.Tok, t.Op)
+		em.emit(n, t.Tok, t.Op)
 	}
 	return CostMemInsert + int64(comparisons)*CostCompare
 }
 
-func (nw *Network) execPartner(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+func (nw *Network) execPartner(t *Task, em *emitter) int64 {
 	n := t.Node
 	ncc := n.Partner
 	owner := ancestorAt(t.Tok, int16(n.BranchN))
@@ -333,12 +449,12 @@ func (nw *Network) execPartner(t *Task, emit func(*BetaNode, *Token, wme.Op)) in
 		if t.Op == wme.Remove {
 			flipOp = wme.Add
 		}
-		emit(ncc, flip, flipOp)
+		em.emit(ncc, flip, flipOp)
 	}
 	return CostMemInsert
 }
 
-func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int64 {
+func (nw *Network) execJoinBB(t *Task, em *emitter) int64 {
 	n := t.Node
 	ctxN := int16(n.BranchN)
 	var cost int64
@@ -357,7 +473,7 @@ func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int
 			_, found := line.removeLeft(n.ID, key, t.Tok)
 			proceed = found
 		}
-		if proceed {
+		if proceed && !nw.rightScanSkip(n) {
 			line.eachRight(n.ID, key, func(e *REntry) {
 				comparisons++
 				if !e.owner.Equal(ctx) {
@@ -374,7 +490,7 @@ func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int
 		nw.Stats.Comparisons.Add(int64(comparisons))
 		cost += CostMemInsert + int64(comparisons)*CostCompare
 		for _, r := range matches {
-			emit(n, Pair(t.Tok, r), t.Op)
+			em.emit(n, Pair(t.Tok, r), t.Op)
 		}
 		return cost
 	}
@@ -391,7 +507,7 @@ func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int
 	} else {
 		proceed = line.removeSubResult(n.ID, key, ctx, stripped)
 	}
-	if proceed {
+	if proceed && !nw.leftScanSkip(n) {
 		line.eachLeft(n.ID, key, func(e *LEntry) {
 			comparisons++
 			if !ctxOf(e.tok, ctxN).Equal(ctx) {
@@ -408,7 +524,7 @@ func (nw *Network) execJoinBB(t *Task, emit func(*BetaNode, *Token, wme.Op)) int
 	nw.Stats.Comparisons.Add(int64(comparisons))
 	cost += CostMemInsert + int64(comparisons)*CostCompare
 	for _, l := range matches {
-		emit(n, Pair(l, stripped), t.Op)
+		em.emit(n, Pair(l, stripped), t.Op)
 	}
 	return cost
 }

@@ -1,6 +1,8 @@
 package rete
 
 import (
+	"sync/atomic"
+
 	"soarpsme/internal/spin"
 	"soarpsme/internal/wme"
 )
@@ -22,11 +24,103 @@ import (
 type Mem struct {
 	lines []Line
 	mask  uint64
+	nc    *nodeCounts
+}
+
+// nodeCounts tracks the number of live (non-tombstone) left and right
+// entries per destination node — the unlinking counters. Tombstone traffic
+// never touches them: a conjugate remove/add pair nets zero live entries,
+// so it nets zero here too. Slots are indexed by NodeID; the slices are
+// grown only at quiescence (AddProduction holds the network mutex with no
+// activation in flight), so the match phase reads and updates slots with
+// atomics and never reallocates.
+type nodeCounts struct {
+	left  []atomic.Int32
+	right []atomic.Int32
+}
+
+// grow ensures n slots exist. Quiescence only: existing slot values are
+// copied without synchronization against concurrent updates.
+func (c *nodeCounts) grow(n int) {
+	if n <= len(c.left) {
+		return
+	}
+	size := len(c.left) * 2
+	if size < n {
+		size = n
+	}
+	left := make([]atomic.Int32, size)
+	right := make([]atomic.Int32, size)
+	for i := range c.left {
+		left[i].Store(c.left[i].Load())
+		right[i].Store(c.right[i].Load())
+	}
+	c.left, c.right = left, right
+}
+
+func (c *nodeCounts) incLeft(id NodeID) {
+	if int(id) < len(c.left) {
+		c.left[id].Add(1)
+	}
+}
+
+func (c *nodeCounts) decLeft(id NodeID) {
+	if int(id) < len(c.left) {
+		c.left[id].Add(-1)
+	}
+}
+
+func (c *nodeCounts) incRight(id NodeID) {
+	if int(id) < len(c.right) {
+		c.right[id].Add(1)
+	}
+}
+
+func (c *nodeCounts) decRight(id NodeID) {
+	if int(id) < len(c.right) {
+		c.right[id].Add(-1)
+	}
+}
+
+// GrowCounts ensures the per-node live-entry counters cover node IDs below
+// n. Call only at quiescence (the network mutex serializes it against
+// AddProduction; no match activation may be in flight).
+func (m *Mem) GrowCounts(n int) { m.nc.grow(n) }
+
+// LeftCount returns the number of live left entries (tokens) stored at
+// node. The value is exact under the node's line locks: every mutation
+// happens inside a Line critical section, so a reader holding the line a
+// prospective match would share sees a count consistent with that line's
+// contents. Unlocked reads are a heuristic (see the unlink fast path).
+func (m *Mem) LeftCount(node NodeID) int32 {
+	if int(node) < len(m.nc.left) {
+		return m.nc.left[node].Load()
+	}
+	return 0
+}
+
+// RightCount returns the number of live right entries (wmes or NCC
+// sub-results) stored at node. Same exactness contract as LeftCount.
+func (m *Mem) RightCount(node NodeID) int32 {
+	if int(node) < len(m.nc.right) {
+		return m.nc.right[node].Load()
+	}
+	return 0
+}
+
+// PurgeCounts zeroes node's live-entry counters (excision removes every
+// entry for the node; quiescence only).
+func (m *Mem) PurgeCounts(node NodeID) {
+	if int(node) < len(m.nc.left) {
+		m.nc.left[node].Store(0)
+		m.nc.right[node].Store(0)
+	}
 }
 
 // Line is one lockable left/right bucket pair.
 type Line struct {
 	Lock  spin.Lock
+	nc    *nodeCounts
 	left  *LEntry
 	right *REntry
 	// leftAccesses counts left-token accesses this cycle (Figure 6-2).
@@ -87,7 +181,11 @@ func NewMem(lines int) *Mem {
 	for n < lines {
 		n <<= 1
 	}
-	return &Mem{lines: make([]Line, n), mask: uint64(n - 1)}
+	m := &Mem{lines: make([]Line, n), mask: uint64(n - 1), nc: &nodeCounts{}}
+	for i := range m.lines {
+		m.lines[i].nc = m.nc
+	}
+	return m
 }
 
 // NumLines returns the number of lines.
@@ -122,6 +220,7 @@ func (l *Line) addLeft(node NodeID, key uint64, tok *Token, count int32) (entry 
 	}
 	e := &LEntry{node: node, key: key, tok: tok, count: count, next: l.left}
 	l.left = e
+	l.nc.incLeft(node)
 	return e, false
 }
 
@@ -137,6 +236,7 @@ func (l *Line) removeLeft(node NodeID, key uint64, tok *Token) (removed *LEntry,
 			} else {
 				prev.next = e.next
 			}
+			l.nc.decLeft(node)
 			return e, true
 		}
 		prev = e
@@ -183,6 +283,7 @@ func (l *Line) addRight(node NodeID, key uint64, w *wme.WME) (annihilated bool) 
 		prev = e
 	}
 	l.right = &REntry{node: node, key: key, w: w, next: l.right}
+	l.nc.incRight(node)
 	return false
 }
 
@@ -197,6 +298,7 @@ func (l *Line) removeRight(node NodeID, key uint64, w *wme.WME) (found bool) {
 			} else {
 				prev.next = e.next
 			}
+			l.nc.decRight(node)
 			return true
 		}
 		prev = e
@@ -222,6 +324,7 @@ func (l *Line) addSubResult(node NodeID, key uint64, owner, sub *Token) (annihil
 		prev = e
 	}
 	l.right = &REntry{node: node, key: key, owner: owner, sub: sub, next: l.right}
+	l.nc.incRight(node)
 	return false
 }
 
@@ -236,6 +339,7 @@ func (l *Line) removeSubResult(node NodeID, key uint64, owner, sub *Token) (foun
 			} else {
 				prev.next = e.next
 			}
+			l.nc.decRight(node)
 			return true
 		}
 		prev = e
@@ -341,16 +445,20 @@ func (m *Mem) Entries() (left, right int) {
 
 // HarvestAccessCounts returns this cycle's per-line left-token access
 // counts (nonzero only) and resets them. The distribution over cycles is
-// Figure 6-2's bucket-contention measure.
+// Figure 6-2's bucket-contention measure. touchLeft/touchRight mutate the
+// counters under the line lock, so the harvest takes each line's lock too
+// (as AccessTotals does) rather than racing a straggling activation.
 func (m *Mem) HarvestAccessCounts() []int {
 	var out []int
 	for i := range m.lines {
 		l := &m.lines[i]
+		l.Lock.Lock()
 		if l.leftAccesses > 0 {
 			out = append(out, int(l.leftAccesses))
 		}
 		l.leftAccesses = 0
 		l.rightAccesses = 0
+		l.Lock.Unlock()
 	}
 	return out
 }

@@ -40,12 +40,19 @@ type Options struct {
 	// bucket and every join scans the node's whole opposite memory — the
 	// §6.1 "linear lists" baseline ablation.
 	LinearMemories bool
+	// Unlink enables left/right unlinking: per-node live-entry counters
+	// let the engine run an activation against a provably empty opposite
+	// memory inline (own memory op only) instead of scheduling a task,
+	// and skip opposite-side scans under the line lock. Off reproduces
+	// the paper's unfiltered engine; the conflict sets are identical
+	// either way.
+	Unlink bool
 }
 
 // DefaultOptions returns the production configuration: shared network,
-// hashed memories, linear organization.
+// hashed memories, linear organization, unlinking on.
 func DefaultOptions() Options {
-	return Options{ShareBeta: true, HashLines: 1024, ContextCEs: 2, GroupCEs: 4}
+	return Options{ShareBeta: true, HashLines: 1024, ContextCEs: 2, GroupCEs: 4, Unlink: true}
 }
 
 // ConflictListener receives instantiation insertions and retractions from
@@ -62,6 +69,13 @@ type NetStats struct {
 	Comparisons   atomic.Int64 // join-test evaluations
 	TokensEmitted atomic.Int64
 	NullActs      atomic.Int64 // activations that produced nothing
+	// NullSuppressed counts activations the unlink filter executed inline
+	// instead of scheduling (the opposite memory was provably empty).
+	NullSuppressed atomic.Int64
+	// AlphaHits/AlphaMisses count hashed alpha-dispatch probes that did /
+	// did not find a matching constant-test subtree.
+	AlphaHits   atomic.Int64
+	AlphaMisses atomic.Int64
 }
 
 // Network is a compiled Rete network plus its global token memories.
@@ -204,6 +218,7 @@ func (nw *Network) buildAlpha(class value.Sym, tests []AlphaTest) *AlphaMem {
 		if next == nil {
 			next = &AlphaNode{ID: nw.newID(), Test: t}
 			cur.Children = append(cur.Children, next)
+			cur.indexChild(next)
 		}
 		cur = next
 	}
@@ -237,7 +252,18 @@ func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
 			emit(succ, d.WME, d.Op)
 		}
 	}
-	for _, c := range n.Children {
+	// Hashed dispatch: one map probe per field any equality child tests,
+	// replacing a linear scan over all of those children.
+	for _, f := range n.eqFields {
+		nw.Stats.ConstTests.Add(1)
+		if c, ok := n.eqKids[alphaEqKey{field: f, val: d.WME.Field(f)}]; ok {
+			nw.Stats.AlphaHits.Add(1)
+			nw.walkAlpha(c, d, emit)
+		} else {
+			nw.Stats.AlphaMisses.Add(1)
+		}
+	}
+	for _, c := range n.linear {
 		nw.Stats.ConstTests.Add(1)
 		if c.Test.matches(d.WME.Field) {
 			nw.walkAlpha(c, d, emit)
@@ -254,6 +280,10 @@ func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
 // a cycle is running.
 func (nw *Network) ResetMatchState() {
 	nw.Mem = NewMem(nw.Opts.HashLines)
+	// The fresh table starts with zeroed unlink counters, which is exactly
+	// right (no live entries); size them for the existing nodes so the
+	// replay can maintain them without reallocation.
+	nw.Mem.GrowCounts(int(nw.MaxNodeID()) + 1)
 }
 
 // WalkBeta visits every beta node reachable from the top, once.

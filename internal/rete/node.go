@@ -72,6 +72,51 @@ type AlphaNode struct {
 	Test     AlphaTest
 	Children []*AlphaNode
 	Mem      *AlphaMem
+
+	// Hashed dispatch index, maintained incrementally by buildAlpha as
+	// children are spliced in: eqKids maps (field, constant) to the child
+	// performing that plain equality test, so a wme delta jumps straight
+	// to the matching subtree; eqFields lists the distinct fields probed
+	// (one map lookup each); linear holds the remaining children —
+	// non-equality predicates, disjunctions, field-vs-field comparisons
+	// and numeric constants (OPS5 equality coerces 3 = 3.0 across
+	// int/float, which a map key cannot express) — still scanned in order.
+	// Children remains the complete list for sharing scans and printing.
+	eqKids   map[alphaEqKey]*AlphaNode
+	eqFields []int
+	linear   []*AlphaNode
+}
+
+// alphaEqKey is the hashed-dispatch key: which field, equal to what.
+type alphaEqKey struct {
+	field int
+	val   value.Value
+}
+
+// hashableEq reports whether t can live in the eqKids index: a plain
+// equality against a symbol or nil constant. Symbol equality is identity,
+// so Value's == (the map's equality) coincides with OPS5 equality.
+func (t AlphaTest) hashableEq() bool {
+	return t.Disj == nil && !t.VsField && t.Pred == value.PredEq &&
+		(t.Val.Kind == value.KindSym || t.Val.Kind == value.KindNil)
+}
+
+// indexChild registers a newly spliced child in the dispatch structures.
+func (n *AlphaNode) indexChild(c *AlphaNode) {
+	if !c.Test.hashableEq() {
+		n.linear = append(n.linear, c)
+		return
+	}
+	if n.eqKids == nil {
+		n.eqKids = make(map[alphaEqKey]*AlphaNode)
+	}
+	n.eqKids[alphaEqKey{field: c.Test.Field, val: c.Test.Val}] = c
+	for _, f := range n.eqFields {
+		if f == c.Test.Field {
+			return
+		}
+	}
+	n.eqFields = append(n.eqFields, c.Test.Field)
 }
 
 // AlphaMem is the terminus of an alpha path. It does not store wmes itself:
