@@ -296,6 +296,16 @@ func BenchmarkPolicyReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkServe measures end-to-end serving throughput: concurrent cypress
+// sessions — create, batched /run cycles with chunking, delete — through
+// cmd/psmed's HTTP stack (internal/serve) over one shared worker budget.
+// Cases live in internal/benchkit so cmd/benchjson records the same numbers.
+func BenchmarkServe(b *testing.B) {
+	for _, c := range benchkit.ServeCases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
 // BenchmarkProductionCompile measures network construction (parse+build)
 // for the full 196-production cypress system.
 func BenchmarkProductionCompile(b *testing.B) {

@@ -6,12 +6,15 @@
 //
 // With -baseline, it additionally compares the fresh results against a
 // committed baseline file and exits nonzero if allocs/op or tasks/op
-// regressed by more than the tolerance — CI's bench-regression leg.
+// regressed by more than the tolerance — CI's bench-regression leg. With
+// -strict (CI default) any bench name present on only one side of the
+// comparison is itself a failure, so renamed or dropped cases can't slip
+// past the gate unnoticed.
 //
 // Usage:
 //
-//	benchjson [-out file] [-baseline file] [-tolerance 0.10]
-//	          [-match regexp] [-figures=false]
+//	benchjson [-out file] [-baseline file] [-tolerance 0.10] [-strict]
+//	          [-match regexp] [-figures=false] [-serving=false]
 package main
 
 import (
@@ -89,17 +92,34 @@ func gauges(r result) map[string]float64 {
 }
 
 // compare gates current against base: any gauge more than tol above its
-// baseline value is a regression. Returns the failure descriptions.
-func compare(base, cur []result, tol float64) []string {
+// baseline value is a regression. In strict mode a name present on only one
+// side is also a failure — a silently renamed or dropped bench would
+// otherwise never be gated again. Returns the failure descriptions.
+func compare(base, cur []result, tol float64, strict bool) []string {
 	prev := map[string]result{}
 	for _, r := range base {
 		prev[r.Name] = r
 	}
 	var fails []string
+	if strict {
+		seen := map[string]bool{}
+		for _, r := range cur {
+			seen[r.Name] = true
+		}
+		for _, r := range base {
+			if !seen[r.Name] {
+				fails = append(fails, fmt.Sprintf("%s: in baseline but not in current run (renamed or dropped?)", r.Name))
+			}
+		}
+	}
 	for _, r := range cur {
 		b, ok := prev[r.Name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline entry, skipping\n", r.Name)
+			if strict {
+				fails = append(fails, fmt.Sprintf("%s: no baseline entry (regenerate the baseline to cover it)", r.Name))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline entry, skipping\n", r.Name)
+			}
 			continue
 		}
 		bg := gauges(b)
@@ -123,6 +143,8 @@ func main() {
 	tol := flag.Float64("tolerance", 0.10, "allowed fractional growth in allocs/op and tasks/op")
 	matchExpr := flag.String("match", "", "only run cases whose name matches this regexp")
 	figures := flag.Bool("figures", true, "include the Fig 6-7/6-8 regenerator benches")
+	serving := flag.Bool("serving", true, "include the internal/serve concurrent-session benches")
+	strict := flag.Bool("strict", false, "with -baseline: fail on any current<->baseline name mismatch instead of skipping")
 	flag.Parse()
 
 	var match *regexp.Regexp
@@ -137,6 +159,9 @@ func main() {
 	cases := benchkit.PolicyReplayCases()
 	if *figures {
 		cases = append(cases, benchkit.FigureCases()...)
+	}
+	if *serving {
+		cases = append(cases, benchkit.ServeCases()...)
 	}
 	f := benchFile{
 		SHA:        gitShortSHA(),
@@ -175,7 +200,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *basePath, err)
 			os.Exit(1)
 		}
-		if fails := compare(base.Benchmarks, f.Benchmarks, *tol); len(fails) > 0 {
+		if *strict && match != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -strict ignores -match filtering; baseline names absent from the filtered run will fail")
+		}
+		if fails := compare(base.Benchmarks, f.Benchmarks, *tol, *strict); len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (sha %s):\n", len(fails), *basePath, base.SHA)
 			for _, s := range fails {
 				fmt.Fprintln(os.Stderr, "  "+s)

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func res(name string, allocs float64, extra map[string]float64) result {
+	return result{Name: name, AllocsPerOp: allocs, Extra: extra}
+}
+
+// TestCompareStrict is the regression test for the name-mismatch hole: a
+// renamed bench used to be skipped with a warning (a regression could ride
+// in on a rename), and a baseline entry with no current counterpart was
+// never even mentioned.
+func TestCompareStrict(t *testing.T) {
+	base := []result{
+		res("cypress/work-stealing", 100, map[string]float64{"tasks/op": 500}),
+		res("cypress/multi-queue", 120, nil),
+	}
+	cases := []struct {
+		name       string
+		cur        []result
+		strict     bool
+		wantFails  int
+		wantSubstr string
+	}{
+		{"identical lax", base, false, 0, ""},
+		{"identical strict", base, true, 0, ""},
+		{"renamed lax skips", []result{
+			res("cypress/work-stealing-v2", 9999, nil),
+			res("cypress/multi-queue", 120, nil),
+		}, false, 0, ""},
+		{"renamed strict fails both directions", []result{
+			res("cypress/work-stealing-v2", 9999, nil),
+			res("cypress/multi-queue", 120, nil),
+		}, true, 2, "work-stealing"},
+		{"dropped bench strict fails", []result{
+			res("cypress/work-stealing", 100, map[string]float64{"tasks/op": 500}),
+		}, true, 1, "not in current run"},
+		{"new bench strict fails", append(append([]result{}, base...),
+			res("Serve/4x30/work-stealing", 50, nil),
+		), true, 1, "no baseline entry"},
+		{"regression still caught in strict", []result{
+			res("cypress/work-stealing", 200, map[string]float64{"tasks/op": 500}),
+			res("cypress/multi-queue", 120, nil),
+		}, true, 1, "allocs/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails := compare(base, tc.cur, 0.10, tc.strict)
+			if len(fails) != tc.wantFails {
+				t.Fatalf("compare() = %d failures %v, want %d", len(fails), fails, tc.wantFails)
+			}
+			if tc.wantSubstr != "" && !strings.Contains(strings.Join(fails, "\n"), tc.wantSubstr) {
+				t.Fatalf("failures %v missing %q", fails, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestCompareTolerance pins the gate semantics strict mode must not change:
+// growth within the tolerance passes, above it fails, and shrinkage passes.
+func TestCompareTolerance(t *testing.T) {
+	base := []result{res("a", 100, map[string]float64{"tasks/op": 1000})}
+	if fails := compare(base, []result{res("a", 109, map[string]float64{"tasks/op": 1000})}, 0.10, true); len(fails) != 0 {
+		t.Fatalf("growth within tolerance should pass: %v", fails)
+	}
+	if fails := compare(base, []result{res("a", 100, map[string]float64{"tasks/op": 1111})}, 0.10, true); len(fails) != 1 {
+		t.Fatalf("tasks/op growth above tolerance should fail: %v", fails)
+	}
+	if fails := compare(base, []result{res("a", 50, map[string]float64{"tasks/op": 500})}, 0.10, true); len(fails) != 0 {
+		t.Fatalf("shrinkage should pass: %v", fails)
+	}
+}

@@ -92,6 +92,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	// An interrupt mid-run still flushes complete -trace/-metrics files.
+	flush = obs.FlushOnInterrupt(flush)
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

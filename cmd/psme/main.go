@@ -52,6 +52,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psme:", err)
 		os.Exit(1)
 	}
+	// An interrupt mid-run still flushes complete -trace/-metrics files.
+	flush = obs.FlushOnInterrupt(flush)
 
 	cfg := engine.DefaultConfig()
 	cfg.Processes = *procs

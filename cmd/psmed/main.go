@@ -1,0 +1,112 @@
+// Command psmed is the match-service daemon: it hosts many independent
+// engine sessions in one process behind the internal/serve HTTP/JSON API,
+// all sessions sharing one match-worker budget.
+//
+// Lifecycle: on SIGTERM/SIGINT the daemon drains — it stops admitting
+// requests (503), finishes every cycle already accepted, flushes the obs
+// sinks, and exits 0. A second signal force-exits.
+//
+// Usage:
+//
+//	psmed [-addr :8740] [-workers N] [-procs N] [-policy work-stealing]
+//	      [-queue-depth 4] [-max-sessions 64] [-deadline 0]
+//	      [-trace out.json] [-metrics out.txt] [-listen :6060]
+//	      [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"soarpsme/internal/obs"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8740", "service listen address")
+	workers := flag.Int("workers", 0, "shared match-worker budget across all sessions (0 = GOMAXPROCS)")
+	procs := flag.Int("procs", 4, "per-session worker width requested from the budget")
+	policy := flag.String("policy", "work-stealing", "default scheduling policy: single-queue, multi-queue, or work-stealing")
+	queueDepth := flag.Int("queue-depth", 4, "per-session admission queue depth (full queue = 429)")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
+	deadline := flag.Duration("deadline", 0, "default per-cycle watchdog deadline; a wedged cycle degrades to the serial fallback (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file at exit")
+	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
+	listen := flag.String("listen", "", "serve obs diagnostics (/metrics, /debug/pprof) on this address")
+	flag.Parse()
+
+	pol, err := prun.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psmed:", err)
+		os.Exit(2)
+	}
+	observer, flush, err := obs.Setup(*traceOut, *metricsOut, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psmed:", err)
+		os.Exit(1)
+	}
+	if observer == nil {
+		// No sinks configured: still collect the service metrics so a later
+		// restart with -listen/-metrics is the only change needed.
+		observer = obs.New()
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		Processes:   *procs,
+		Policy:      pol,
+		QueueDepth:  *queueDepth,
+		MaxSessions: *maxSessions,
+		Deadline:    *deadline,
+		Obs:         observer,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, ";; psmed: serving on %s (workers=%d procs=%d policy=%v)\n",
+		*addr, srv.Budget().Cap(), *procs, pol)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "psmed:", err)
+		if ferr := flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "psmed: flush:", ferr)
+		}
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, ";; psmed: %v: draining (in-flight cycles finish; new requests get 503)\n", sig)
+	}
+
+	// Drain: stop admitting, then let the HTTP server wait out in-flight
+	// handlers — each of which is waiting on its session's command loop, so
+	// accepted cycles complete. A second signal aborts the wait.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, ";; psmed: second signal: aborting drain")
+		cancel()
+	}()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, ";; psmed: drain:", err)
+		hs.Close()
+	}
+	cancel()
+	srv.Close()
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "psmed: flush:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, ";; psmed: drained, exiting")
+}

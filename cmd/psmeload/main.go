@@ -1,0 +1,177 @@
+// Command psmeload drives a psmed daemon with S concurrent cypress
+// sessions of C cycles each and reports aggregate serving throughput.
+// With -verify (the default) it first computes the solo serial run's
+// per-cycle conflict-set fingerprints in-process and asserts every served
+// session matches them byte for byte — the serving layer's conformance
+// contract under real HTTP concurrency.
+//
+// Backpressure (429) is honored via Retry-After; every cycle is accounted
+// for, and the exit status is nonzero on lost cycles or fingerprint
+// divergence — CI's serve-smoke leg keys off it.
+//
+// Usage:
+//
+//	psmeload [-addr http://127.0.0.1:8740] [-sessions 8] [-cycles 60]
+//	         [-batch 10] [-chunking] [-policy work-stealing]
+//	         [-productions 60] [-chunks 6] [-seed 17] [-verify]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"soarpsme/internal/serve"
+	"soarpsme/internal/tasks/cypress"
+)
+
+func call(method, url string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			time.Sleep(serve.RetryAfter(resp))
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, bytes.TrimSpace(data))
+		}
+		if out != nil {
+			return json.Unmarshal(data, out)
+		}
+		return nil
+	}
+}
+
+type sessionReport struct {
+	cycles int
+	tasks  int
+	err    error
+}
+
+func driveSession(addr string, p cypress.Params, policy string, cycles, batch int, chunking bool, baseline []string) sessionReport {
+	var rep sessionReport
+	var created serve.CreateResult
+	if err := call("POST", addr+"/sessions", serve.CreateRequest{
+		Task: "cypress", Params: &p, Policy: policy,
+	}, &created); err != nil {
+		rep.err = fmt.Errorf("create: %w", err)
+		return rep
+	}
+	base := addr + "/sessions/" + created.ID
+	var fps []string
+	for rep.cycles < cycles {
+		n := batch
+		if rem := cycles - rep.cycles; rem < n {
+			n = rem
+		}
+		var res serve.RunResult
+		if err := call("POST", base+"/run", serve.RunRequest{Cycles: n, Chunking: chunking}, &res); err != nil {
+			rep.err = fmt.Errorf("run after %d cycles: %w", rep.cycles, err)
+			return rep
+		}
+		rep.cycles += res.Cycles
+		rep.tasks += res.Tasks
+		fps = append(fps, res.Fingerprints...)
+		if res.Cycles != n {
+			rep.err = fmt.Errorf("lost cycles: ran %d of %d", res.Cycles, n)
+			return rep
+		}
+	}
+	if baseline != nil {
+		for i := range fps {
+			if i >= len(baseline) || fps[i] != baseline[i] {
+				rep.err = fmt.Errorf("session %s cycle %d fingerprint diverged from solo serial run", created.ID, i)
+				return rep
+			}
+		}
+	}
+	rep.err = call("DELETE", base, nil, nil)
+	return rep
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8740", "psmed base URL")
+	sessions := flag.Int("sessions", 8, "concurrent sessions")
+	cycles := flag.Int("cycles", 60, "cycles per session")
+	batch := flag.Int("batch", 10, "cycles per run request")
+	chunking := flag.Bool("chunking", true, "enable mid-stream chunk additions (AddProductionRuntime)")
+	policy := flag.String("policy", "work-stealing", "session scheduling policy")
+	productions := flag.Int("productions", 60, "cypress task productions")
+	chunks := flag.Int("chunks", 6, "cypress run-time chunks")
+	seed := flag.Uint64("seed", 17, "cypress workload seed (all sessions share it)")
+	verify := flag.Bool("verify", true, "verify per-cycle fingerprints against an in-process solo serial run")
+	flag.Parse()
+
+	// All sessions share one seed, so one solo baseline checks them all.
+	p := cypress.Params{Productions: *productions, AvgCEs: 10, Chunks: *chunks, ChunkCEs: 16,
+		Alphabet: 6, Cycles: *cycles, Seed: *seed}
+	var baseline []string
+	if *verify {
+		fps, err := serve.SoloFingerprints(p, *cycles, *chunking)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psmeload: baseline:", err)
+			os.Exit(1)
+		}
+		baseline = fps
+	}
+
+	start := time.Now()
+	reports := make([]sessionReport, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = driveSession(*addr, p, *policy, *cycles, *batch, *chunking, baseline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total, tasks, failed := 0, 0, 0
+	for i, r := range reports {
+		total += r.cycles
+		tasks += r.tasks
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "psmeload: session %d: %v\n", i, r.err)
+		}
+	}
+	fmt.Printf(";; psmeload: %d sessions x %d cycles: %d cycles in %.3fs (%.1f cycles/sec, %d match tasks)",
+		*sessions, *cycles, total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), tasks)
+	if *verify {
+		fmt.Printf(" [verified vs solo serial]")
+	}
+	fmt.Println()
+	if failed > 0 || total != *sessions**cycles {
+		fmt.Fprintf(os.Stderr, "psmeload: FAILED: %d session errors, %d/%d cycles completed\n",
+			failed, total, *sessions**cycles)
+		os.Exit(1)
+	}
+}

@@ -66,6 +66,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soar:", err)
 		os.Exit(1)
 	}
+	// An interrupt mid-run still flushes complete -trace/-metrics files.
+	flush = obs.FlushOnInterrupt(flush)
 
 	cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: *chunking, MaxDecisions: *decisions}
 	cfg.Engine.Processes = *procs

@@ -1,0 +1,124 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"soarpsme/internal/obs"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/serve"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// serveCall is a minimal JSON client for the serving bench; it retries 429
+// with the server's Retry-After hint so backpressure costs time, not cycles.
+func serveCall(b *testing.B, method, url string, body, out any) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			data, err := json.Marshal(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			time.Sleep(serve.RetryAfter(resp))
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			b.Fatalf("%s %s: %d %s", method, url, resp.StatusCode, data)
+		}
+		if out != nil && json.Unmarshal(data, out) != nil {
+			b.Fatalf("%s %s: bad JSON %q", method, url, data)
+		}
+		return
+	}
+}
+
+// serveBench measures end-to-end serving throughput: each op boots the full
+// session lifecycle for `sessions` concurrent cypress sessions — create,
+// `cycles` match cycles in batched /run requests (chunking on), delete —
+// through the real HTTP handler stack. Reported extra: cycles/sec aggregate
+// across sessions, the headline serving number.
+func serveBench(sessions, cycles int, pol prun.Policy) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv := serve.New(serve.Config{
+			Processes:   2,
+			Policy:      pol,
+			QueueDepth:  8,
+			MaxSessions: 2 * sessions,
+			Obs:         obs.New(),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+
+		p := cypress.Params{Productions: 30, AvgCEs: 8, Chunks: 4, ChunkCEs: 12,
+			Alphabet: 6, Cycles: cycles, Seed: 23}
+		const batch = 8
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan struct{}, sessions)
+			for s := 0; s < sessions; s++ {
+				go func() {
+					defer func() { done <- struct{}{} }()
+					var created serve.CreateResult
+					serveCall(b, "POST", ts.URL+"/sessions", serve.CreateRequest{Task: "cypress", Params: &p}, &created)
+					base := ts.URL + "/sessions/" + created.ID
+					for run := 0; run < cycles; run += batch {
+						n := batch
+						if rem := cycles - run; rem < n {
+							n = rem
+						}
+						var res serve.RunResult
+						serveCall(b, "POST", base+"/run", serve.RunRequest{Cycles: n, Chunking: true}, &res)
+						if res.Cycles != n {
+							b.Errorf("lost cycles: ran %d of %d", res.Cycles, n)
+							return
+						}
+					}
+					serveCall(b, "DELETE", base, nil, nil)
+				}()
+			}
+			for s := 0; s < sessions; s++ {
+				<-done
+			}
+		}
+		b.StopTimer()
+		total := float64(b.N * sessions * cycles)
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(total/secs, "cycles/sec")
+		}
+		b.ReportMetric(total/float64(b.N), "cycles/op")
+	}
+}
+
+// ServeCases is the serving-layer bench: concurrent cypress sessions driven
+// through cmd/psmed's HTTP stack (internal/serve) over one shared worker
+// budget — the serving counterpart of the in-process replay matrix.
+func ServeCases() []Case {
+	return []Case{
+		{Name: "Serve/4x30/work-stealing", Bench: serveBench(4, 30, prun.WorkStealing)},
+		{Name: "Serve/4x30/single-queue", Bench: serveBench(4, 30, prun.SingleQueue)},
+	}
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+const factSrc = `
+(literalize fact v)
+(literalize seen v)
+(p note (fact ^v <v>) --> (make seen ^v <v>))
+`
+
+// csLines renders the conflict set canonically for comparison.
+func csLines(e *Engine) []string {
+	var out []string
+	for _, in := range e.CS.All() {
+		var b strings.Builder
+		b.WriteString(in.Prod.Name)
+		for _, w := range in.WMEs {
+			b.WriteByte(' ')
+			b.WriteString(e.Tab.Format(w.Field(0)))
+		}
+		out = append(out, b.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func factDelta(e *Engine, v int64) wme.Delta {
+	cls := e.Tab.Intern("fact")
+	return wme.Delta{Op: wme.Add, WME: e.WM.Make(cls, []value.Value{value.IntVal(v)})}
+}
+
+// TestRemoveUnknownWMEBadDelta is the WM-delta symmetry regression test:
+// removing a wme that was never inserted (or already removed) must be
+// dropped and counted like a duplicate insert — a failed, recovered cycle
+// whose surviving deltas still apply — not silently ignored.
+func TestRemoveUnknownWMEBadDelta(t *testing.T) {
+	mk := func() *Engine {
+		e := New(DefaultConfig())
+		if err := e.LoadProgram(factSrc); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	e := mk()
+	ghost := e.WM.Make(e.Tab.Intern("fact"), []value.Value{value.IntVal(99)})
+	cs := e.ApplyAndMatch([]wme.Delta{
+		factDelta(e, 1),
+		{Op: wme.Remove, WME: ghost}, // never inserted
+		factDelta(e, 2),
+	})
+	if !cs.Failed || !cs.Recovered {
+		t.Fatalf("bad removal: Failed=%v Recovered=%v, want cycle failed and recovered", cs.Failed, cs.Recovered)
+	}
+	if !strings.Contains(cs.Reason, "unknown wme") {
+		t.Fatalf("Reason = %q, want mention of unknown wme", cs.Reason)
+	}
+	if e.BadDeltas != 1 {
+		t.Fatalf("BadDeltas = %d, want 1", e.BadDeltas)
+	}
+	if e.WM.Len() != 2 {
+		t.Fatalf("WM len = %d, want 2 (good deltas applied)", e.WM.Len())
+	}
+	if err := e.AuditInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double removal: the second remove of the same wme is the bad one.
+	w := factDelta(e, 3)
+	if cs := e.ApplyAndMatch([]wme.Delta{w}); cs.Failed {
+		t.Fatalf("clean add failed: %s", cs.Reason)
+	}
+	cs = e.ApplyAndMatch([]wme.Delta{
+		{Op: wme.Remove, WME: w.WME},
+		{Op: wme.Remove, WME: w.WME},
+	})
+	if !cs.Failed || e.BadDeltas != 2 {
+		t.Fatalf("double removal: Failed=%v BadDeltas=%d, want failed cycle and 2", cs.Failed, e.BadDeltas)
+	}
+	if err := e.AuditInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered engine's match state must equal a clean run of the
+	// surviving deltas.
+	clean := mk()
+	clean.ApplyAndMatch([]wme.Delta{factDelta(clean, 1), factDelta(clean, 2)})
+	got, want := csLines(e), csLines(clean)
+	if len(got) != len(want) {
+		t.Fatalf("conflict set diverged: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("conflict set diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestDuplicateInsertCountsBadDelta pins the insert half of the symmetry:
+// the engine-level BadDeltas counter moves on duplicate inserts too.
+func TestDuplicateInsertCountsBadDelta(t *testing.T) {
+	e := New(DefaultConfig())
+	if err := e.LoadProgram(factSrc); err != nil {
+		t.Fatal(err)
+	}
+	d := factDelta(e, 7)
+	if cs := e.ApplyAndMatch([]wme.Delta{d}); cs.Failed {
+		t.Fatalf("first insert failed: %s", cs.Reason)
+	}
+	cs := e.ApplyAndMatch([]wme.Delta{d})
+	if !cs.Failed || !cs.Recovered {
+		t.Fatalf("duplicate insert: Failed=%v Recovered=%v", cs.Failed, cs.Recovered)
+	}
+	if e.BadDeltas != 1 {
+		t.Fatalf("BadDeltas = %d, want 1", e.BadDeltas)
+	}
+	if err := e.AuditInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepMatchesRunOPS5 drives the counter program one Step at a time and
+// checks it reproduces RunOPS5's firing count and halt behavior.
+func TestStepMatchesRunOPS5(t *testing.T) {
+	e := New(DefaultConfig())
+	if err := e.LoadProgram(counterSrc); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		fired++
+	}
+	if fired != 11 || !e.Halted() {
+		t.Fatalf("stepped run: fired=%d halted=%v, want 11 fired and halted", fired, e.Halted())
+	}
+	if ok, err := e.Step(); ok || err != nil {
+		t.Fatalf("Step after halt = (%v, %v), want (false, nil)", ok, err)
+	}
+}

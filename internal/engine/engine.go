@@ -47,6 +47,13 @@ type Config struct {
 	// -deadline flag); an expired cycle is poisoned and retried serially.
 	// Zero disables the watchdog.
 	Deadline time.Duration
+	// Budget, when non-nil, is a worker budget shared with other engines in
+	// the same process: each match cycle acquires up to Processes slots from
+	// it (at least one, so no engine starves) instead of unconditionally
+	// spawning Processes workers. The serving layer hands every session the
+	// same budget so S sessions share one pool rather than running
+	// S×Processes workers.
+	Budget *prun.Budget
 }
 
 // DefaultConfig returns a single-process, multi-queue, shared-network
@@ -77,6 +84,11 @@ type Engine struct {
 	Additions []*AddResult
 	// Fired counts production firings.
 	Fired int
+	// BadDeltas counts wme deltas rejected by ApplyAndMatch (duplicate
+	// inserts and removals of unknown wmes); the serving layer reports it
+	// per session so clients see their own bad deltas, not just the
+	// process-wide wm_bad_deltas_total metric.
+	BadDeltas int
 	// AfterCycle, when set, runs at the end of every ApplyAndMatch (the
 	// experiment harness harvests per-cycle hash-line access counts here).
 	AfterCycle func(cs *prun.CycleStats)
@@ -126,6 +138,7 @@ func New(cfg Config) *Engine {
 		CaptureTrace: cfg.CaptureTrace,
 		Fault:        cfg.Fault,
 		Deadline:     cfg.Deadline,
+		Budget:       cfg.Budget,
 	})
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 10000
@@ -252,14 +265,25 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 				if badDelta == nil {
 					badDelta = err
 				}
+				e.BadDeltas++
 				e.mBadDeltas.Inc()
 				continue
 			}
 			applied = append(applied, d)
 		case wme.Remove:
-			if e.WM.Delete(d.WME) {
-				applied = append(applied, d)
+			if !e.WM.Delete(d.WME) {
+				// Symmetric with the duplicate-insert path: removing a wme
+				// that is not in working memory is a bad delta, not a no-op —
+				// silently ignoring it would let a confused client's view of
+				// WM drift from the engine's.
+				if badDelta == nil {
+					badDelta = fmt.Errorf("wme: remove of unknown wme %d", d.WME.ID)
+				}
+				e.BadDeltas++
+				e.mBadDeltas.Inc()
+				continue
 			}
+			applied = append(applied, d)
 		}
 	}
 	if e.cfg.Watch >= 2 && e.cfg.Output != nil {
@@ -354,27 +378,48 @@ func (e *Engine) AuditInvariants() error {
 	return nil
 }
 
+// Step runs one recognize-act cycle: select a dominant instantiation, fire
+// it, apply+match its wme changes, and run any excises it deferred. It
+// reports whether a production fired — false means quiescence (empty
+// conflict set) or a previously executed (halt). The serving layer uses it
+// to run bounded cycle batches between checkpoints.
+func (e *Engine) Step() (bool, error) {
+	if e.halted {
+		return false, nil
+	}
+	inst := e.CS.Select(e.strategy)
+	if inst == nil {
+		return false, nil
+	}
+	deltas, err := e.FireInstantiation(inst)
+	if err != nil {
+		return false, err
+	}
+	e.ApplyAndMatch(deltas)
+	for _, name := range e.pendingExcise {
+		if err := e.ExciseProduction(name); err != nil {
+			return true, err
+		}
+	}
+	e.pendingExcise = e.pendingExcise[:0]
+	return true, nil
+}
+
 // RunOPS5 executes the recognize-act cycle until quiescence, halt, or the
 // cycle bound. It returns the number of firings.
 func (e *Engine) RunOPS5() (int, error) {
 	fired := 0
-	for i := 0; i < e.cfg.MaxCycles && !e.halted; i++ {
-		inst := e.CS.Select(e.strategy)
-		if inst == nil {
-			break
+	for i := 0; i < e.cfg.MaxCycles; i++ {
+		ok, err := e.Step()
+		if ok {
+			fired++
 		}
-		deltas, err := e.FireInstantiation(inst)
 		if err != nil {
 			return fired, err
 		}
-		fired++
-		e.ApplyAndMatch(deltas)
-		for _, name := range e.pendingExcise {
-			if err := e.ExciseProduction(name); err != nil {
-				return fired, err
-			}
+		if !ok {
+			break
 		}
-		e.pendingExcise = e.pendingExcise[:0]
 	}
 	return fired, nil
 }

@@ -3,6 +3,9 @@ package obs
 import (
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 )
 
 // liveTraceLimit bounds the tracer when it only feeds the live
@@ -59,6 +62,45 @@ func Setup(tracePath, metricsPath, listen string) (*Observer, func() error, erro
 		return first
 	}
 	return o, flush, nil
+}
+
+// FlushOnInterrupt wraps a Setup flush so an interrupted run still writes
+// complete -trace/-metrics files: it installs a SIGINT/SIGTERM handler that
+// runs the flush and exits with the conventional status (130 for SIGINT,
+// 143 for SIGTERM) instead of letting the default handler kill the process
+// mid-write. The returned function is the flush to call on the normal exit
+// path; both it and the signal path run the underlying flush exactly once.
+// Daemons that drain on SIGTERM (psmed) install their own handler and must
+// not use this.
+func FlushOnInterrupt(flush func() error) func() error {
+	var once sync.Once
+	run := func() error {
+		var err error
+		once.Do(func() { err = flush() })
+		return err
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, ";; obs: %v: flushing trace/metrics\n", sig)
+		if err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, ";; obs: flush:", err)
+		}
+		code := 130 // SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+	return func() error {
+		signal.Stop(ch)
+		close(ch)
+		return run()
+	}
 }
 
 func writeFile(path string, write func(*os.File) error) error {

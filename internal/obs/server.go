@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewMux builds the diagnostics handler: /metrics (Prometheus text
@@ -47,16 +49,25 @@ func NewMux(reg *Registry, trc *Tracer) *http.ServeMux {
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	// CloseTimeout bounds how long Close waits for in-flight requests
+	// before force-closing connections. Zero means the default (5s).
+	CloseTimeout time.Duration
 }
 
 // Serve starts the diagnostics server on addr (e.g. ":6060"; ":0" picks a
 // free port) and serves in the background until Close.
 func Serve(addr string, reg *Registry, trc *Tracer) (*Server, error) {
+	return serveHandler(addr, NewMux(reg, trc))
+}
+
+// serveHandler starts a Server with an arbitrary handler; tests use it to
+// inject slow handlers when exercising the graceful-close path.
+func serveHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{srv: &http.Server{Handler: NewMux(reg, trc)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: h}, ln: ln}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -64,5 +75,19 @@ func Serve(addr string, reg *Registry, trc *Tracer) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: it stops accepting connections
+// and waits up to CloseTimeout for in-flight requests — a /metrics scrape
+// or a /trace download mid-transfer — to finish, then force-closes
+// whatever remains. The old hard-close truncated any response in flight.
+func (s *Server) Close() error {
+	d := s.CloseTimeout
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func mustOpen(t *testing.T, path string) *os.File {
@@ -63,6 +64,81 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
 		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+}
+
+// TestCloseWaitsForInFlightRequests is the graceful-shutdown regression
+// test: Close used to hard-close the listener, truncating a /metrics scrape
+// or trace download mid-response. Now it must let a started request finish.
+func TestCloseWaitsForInFlightRequests(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s, err := serveHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		io.WriteString(w, "slow-but-complete")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CloseTimeout = 5 * time.Second
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close must block on the in-flight request, not truncate it.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "slow-but-complete" {
+		t.Fatalf("in-flight request truncated by Close: body=%q err=%v", r.body, r.err)
+	}
+}
+
+// TestCloseForceAfterTimeout pins the bound: a handler that never returns
+// cannot wedge Close past its CloseTimeout.
+func TestCloseForceAfterTimeout(t *testing.T) {
+	wedge := make(chan struct{})
+	defer close(wedge)
+	s, err := serveHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-wedge
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CloseTimeout = 100 * time.Millisecond
+	go http.Get("http://" + s.Addr() + "/")
+	// Give the request a moment to reach the handler.
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged past its timeout")
 	}
 }
 

@@ -66,11 +66,77 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("prun: unknown policy %q (want single-queue, multi-queue, or work-stealing)", s)
 }
 
+// Budget caps the number of match workers running concurrently across
+// every Runtime that shares it. The serving layer hands one Budget to all
+// of its sessions so S sessions × P processes never oversubscribe the
+// machine: a cycle that wants P workers takes whatever share of the budget
+// is free (always at least one, so no session ever starves), and returns
+// it at quiescence. Worker count never affects match results — only how
+// the cycle's tasks are spread — so running a cycle below its configured
+// width is safe.
+type Budget struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+	cap  int
+}
+
+// NewBudget returns a budget of n concurrent workers (n < 1 means
+// GOMAXPROCS).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	b := &Budget{free: n, cap: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Cap returns the budget's total worker capacity.
+func (b *Budget) Cap() int { return b.cap }
+
+// Acquire blocks until at least one worker slot is free, then takes up to
+// want slots and returns the number taken (in [1, want]).
+func (b *Budget) Acquire(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.free == 0 {
+		b.cond.Wait()
+	}
+	got := want
+	if got > b.free {
+		got = b.free
+	}
+	b.free -= got
+	return got
+}
+
+// Release returns n slots taken by Acquire.
+func (b *Budget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.free += n
+	if b.free > b.cap {
+		panic("prun: budget over-released")
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
 // Config configures the runtime.
 type Config struct {
 	// Processes is the number of match processes (the paper varies 1..13).
 	Processes int
 	Policy    Policy
+	// Budget, when non-nil, is a worker budget shared with other Runtimes:
+	// each cycle runs with min(Processes, its granted share) workers, at
+	// least one. Nil runs every cycle at full width.
+	Budget *Budget
 	// CaptureTrace records the task DAG of each cycle for the simulator.
 	CaptureTrace bool
 	// Fault, when non-nil, is consulted at the named injection sites
@@ -99,6 +165,10 @@ type TaskRec struct {
 type CycleStats struct {
 	Tasks     int
 	TotalCost int64 // summed modeled task cost (sequential work, µs)
+	// Workers is the number of match processes the cycle actually ran with
+	// — less than the configured Processes when a shared Budget was
+	// contended (serving many sessions), 1 for the serial fallback.
+	Workers int
 	// FailedPops counts pop attempts that found every queue empty while
 	// tasks were still pending — genuine idleness/contention (§6.1). Pops
 	// that fail because the cycle is over are counted as TermProbes.
@@ -235,6 +305,15 @@ func (rt *Runtime) filtered(id rete.NodeID) bool {
 // SetObserver attaches (non-nil) or detaches (nil) match instrumentation.
 // Must be called while no cycle is running.
 func (rt *Runtime) SetObserver(h *obs.MatchHooks) { rt.obs = h }
+
+// SetDeadline replaces the per-cycle watchdog deadline (0 disables it).
+// The serving layer wires each request's remaining deadline through here so
+// a wedged cycle degrades via the serial fallback instead of hanging the
+// connection. Must be called while no cycle is running.
+func (rt *Runtime) SetDeadline(d time.Duration) { rt.cfg.Deadline = d }
+
+// Deadline returns the current per-cycle watchdog deadline.
+func (rt *Runtime) Deadline() time.Duration { return rt.cfg.Deadline }
 
 // sched is the per-worker scheduler handed to rete.Exec under the
 // spin-lock policies; worker w pushes onto its own queue under MultiQueue.
@@ -637,6 +716,11 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 		totalCost atomic.Int64
 	)
 	workers := rt.cfg.Processes
+	if b := rt.cfg.Budget; b != nil {
+		granted := b.Acquire(workers)
+		defer b.Release(granted)
+		workers = granted
+	}
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		if rt.cfg.Policy == WorkStealing {
@@ -648,6 +732,7 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 	wg.Wait()
 	cs := CycleStats{
 		Tasks:      int(tasks.Load()),
+		Workers:    workers,
 		TotalCost:  totalCost.Load(),
 		FailedPops: rt.failedPops.Load(),
 		TermProbes: rt.termProbes.Load(),
@@ -808,7 +893,7 @@ func (s *serialSched) Filtered(id rete.NodeID) bool { return s.rt.filtered(id) }
 func (rt *Runtime) ReplaySerial(all []*wme.WME) CycleStats {
 	rt.resetCycleCounters()
 	s := &serialSched{rt: rt}
-	cs := CycleStats{Recovered: true}
+	cs := CycleStats{Recovered: true, Workers: 1}
 	h := rt.obs
 	for _, w := range all {
 		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {

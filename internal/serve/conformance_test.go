@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"soarpsme/internal/obs"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// cypressParams sizes a small, fast cypress workload for tests. Cycles must
+// be >= 20 so the chunk schedule stays increasing.
+func cypressParams(prods, cycles, chunks int, seed uint64) *cypress.Params {
+	return &cypress.Params{Productions: prods, AvgCEs: 8, Chunks: chunks, ChunkCEs: 12, Alphabet: 6, Cycles: cycles, Seed: seed}
+}
+
+// soloFingerprints is the test-fataling wrapper over SoloFingerprints.
+func soloFingerprints(t testing.TB, p cypress.Params, cycles int, chunking bool) []string {
+	t.Helper()
+	fps, err := SoloFingerprints(p, cycles, chunking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fps
+}
+
+// postJSON is the error-returning twin of doJSON for use off the test
+// goroutine. It retries on 429, honoring Retry-After.
+func postJSON(method, url string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+			time.Sleep(RetryAfter(resp) / 100)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, data)
+		}
+		if out != nil {
+			return json.Unmarshal(data, out)
+		}
+		return nil
+	}
+}
+
+type sessionCombo struct {
+	policy   string
+	chunking bool
+	deadline string // per-session cycle watchdog; "1ns" poisons every cycle
+}
+
+// driveSession creates a session, runs the workload in several batch
+// requests, and verifies every per-cycle fingerprint against the solo
+// serial baseline.
+func driveSession(url string, c sessionCombo, p cypress.Params, cycles, batch int, baseline []string) error {
+	var created CreateResult
+	err := postJSON("POST", url+"/sessions", CreateRequest{
+		Task: "cypress", Params: &p, Policy: c.policy, Deadline: c.deadline,
+	}, &created)
+	if err != nil {
+		return fmt.Errorf("%+v: create: %w", c, err)
+	}
+	base := url + "/sessions/" + created.ID
+	var fps []string
+	for len(fps) < cycles {
+		n := batch
+		if rem := cycles - len(fps); rem < n {
+			n = rem
+		}
+		var res RunResult
+		if err := postJSON("POST", base+"/run", RunRequest{Cycles: n, Chunking: c.chunking}, &res); err != nil {
+			return fmt.Errorf("%+v: run: %w", c, err)
+		}
+		if res.Cycles != n {
+			return fmt.Errorf("%+v: lost cycles: ran %d of %d", c, res.Cycles, n)
+		}
+		fps = append(fps, res.Fingerprints...)
+	}
+	if len(fps) != len(baseline) {
+		return fmt.Errorf("%+v: %d fingerprints vs %d baseline", c, len(fps), len(baseline))
+	}
+	for i := range fps {
+		if fps[i] != baseline[i] {
+			return fmt.Errorf("%+v: cycle %d fingerprint diverged from solo serial run:\n  got  %s\n  want %s",
+				c, i, fps[i], baseline[i])
+		}
+	}
+	var audit struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := postJSON("GET", base+"/audit", nil, &audit); err != nil {
+		return fmt.Errorf("%+v: audit: %w", c, err)
+	}
+	if !audit.OK {
+		return fmt.Errorf("%+v: audit failed: %s", c, audit.Error)
+	}
+	return postJSON("DELETE", base, nil, nil)
+}
+
+// TestConcurrentSessionsByteIdentical is the serving conformance test (run
+// under -race in CI): >= 8 concurrent sessions over one shared 4-slot
+// worker budget, across SingleQueue/MultiQueue/WorkStealing, with and
+// without mid-stream AddProductionRuntime chunking, including sessions
+// whose 1ns deadline poisons every parallel cycle onto the serial-fallback
+// path — every session's per-cycle conflict-set fingerprints must be
+// byte-identical to a solo serial run of the same task.
+func TestConcurrentSessionsByteIdentical(t *testing.T) {
+	const cycles, batch = 24, 7
+	p := *cypressParams(40, cycles, 4, 11)
+	baseline := map[bool][]string{
+		false: soloFingerprints(t, p, cycles, false),
+		true:  soloFingerprints(t, p, cycles, true),
+	}
+
+	s, ts := testServer(t, Config{Workers: 4, Processes: 4, QueueDepth: 8, Obs: obs.New()})
+	combos := []sessionCombo{
+		{"single-queue", false, ""},
+		{"single-queue", true, ""},
+		{"work-stealing", false, ""},
+		{"work-stealing", true, ""},
+		{"multi-queue", false, ""},
+		{"multi-queue", true, ""},
+		{"work-stealing", true, "1ns"},
+		{"single-queue", false, "1ns"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(combos))
+	for _, c := range combos {
+		wg.Add(1)
+		go func(c sessionCombo) {
+			defer wg.Done()
+			errs <- driveSession(ts.URL, c, p, cycles, batch, baseline[c.chunking])
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if got := s.cfg.Obs.Counter("serve_cycles_total").Value(); got != uint64(len(combos)*cycles) {
+		t.Fatalf("serve_cycles_total = %d, want %d (no lost cycles)", got, len(combos)*cycles)
+	}
+}

@@ -1,0 +1,535 @@
+// Package serve is the multi-session match service: one process hosting
+// many independent engine sessions behind an HTTP/JSON API, the serving
+// layer the ROADMAP's production-scale goal calls for. Sessions run either
+// a named task from internal/tasks (currently cypress, the chunk-heavy
+// synthetic workload) or an uploaded OPS5 program.
+//
+// Concurrency model: every session owns a command-loop goroutine, so each
+// engine is driven strictly serially, while all sessions share one global
+// prun.Budget — S sessions share the worker pool instead of each spawning
+// Processes workers. Admission per session is a bounded queue: a full
+// queue fails fast with 429 + Retry-After (backpressure) rather than
+// queueing unboundedly. Per-request deadlines wire into the runtime's
+// cycle watchdog, so a wedged parallel cycle degrades through the serial
+// fallback instead of hanging the connection. Drain (SIGTERM) stops
+// admitting work, finishes everything already accepted, and exits cleanly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/obs"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers caps the shared match-worker budget across all sessions
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Processes is the per-session worker width a cycle asks the budget
+	// for (0 = 4).
+	Processes int
+	// Policy is the default scheduling policy for new sessions.
+	Policy prun.Policy
+	// QueueDepth bounds each session's admission queue (0 = 4).
+	QueueDepth int
+	// MaxSessions bounds concurrent sessions (0 = 64).
+	MaxSessions int
+	// Deadline is the default per-cycle watchdog deadline for sessions
+	// that don't set their own (0 = off).
+	Deadline time.Duration
+	// Obs receives service metrics (nil disables instrumentation).
+	Obs *obs.Observer
+}
+
+// Server hosts the sessions and their shared worker budget.
+type Server struct {
+	cfg    Config
+	budget *prun.Budget
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+
+	draining atomic.Bool
+
+	mSessions *obs.Gauge
+	mRequests *obs.Counter
+	mCycles   *obs.Counter
+	mRejected *obs.Counter
+	mLatency  *obs.Histogram
+}
+
+// New builds a server with an empty session table.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Processes <= 0 {
+		cfg.Processes = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		budget:   prun.NewBudget(cfg.Workers),
+		sessions: map[string]*Session{},
+	}
+	if o := cfg.Obs; o != nil {
+		s.mSessions = o.Gauge("sessions_active")
+		s.mRequests = o.Counter("serve_requests_total")
+		s.mCycles = o.Counter("serve_cycles_total")
+		s.mRejected = o.Counter("serve_backpressure_rejections_total")
+		s.mLatency = o.Histogram("serve_request_seconds")
+	}
+	return s
+}
+
+// Budget exposes the shared worker budget (tests assert its cap).
+func (s *Server) Budget() *prun.Budget { return s.budget }
+
+// Drain stops admitting new requests: everything after this call gets 503,
+// while requests already inside handlers run to completion. Call before
+// http.Server.Shutdown so the listener drains instead of racing new work.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops every session loop, letting each finish the commands it has
+// already admitted (cycles are never dropped), and blocks until all loops
+// exit. Call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.Drain()
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		all = append(all, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range all {
+		ss.shutdown()
+	}
+	for _, ss := range all {
+		<-ss.done
+	}
+}
+
+// ---- wire types ----
+
+// CreateRequest creates a session.
+type CreateRequest struct {
+	// Task names a server-side workload ("cypress"); empty with Program
+	// set uploads an OPS5 program instead.
+	Task string `json:"task,omitempty"`
+	// Params sizes a cypress task (all fields optional).
+	Params *cypress.Params `json:"params,omitempty"`
+	// Program is OPS5 source for an uploaded-program session.
+	Program string `json:"program,omitempty"`
+	// Policy overrides the server default ("single-queue", "multi-queue",
+	// "work-stealing").
+	Policy string `json:"policy,omitempty"`
+	// Processes overrides the per-session worker width.
+	Processes int `json:"processes,omitempty"`
+	// Deadline is the session's per-cycle watchdog deadline (Go duration
+	// string, e.g. "500ms"); empty inherits the server default.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// CreateResult answers a session creation.
+type CreateResult struct {
+	ID          string `json:"id"`
+	Task        string `json:"task"`
+	Productions int    `json:"productions"`
+}
+
+// RunRequest runs match cycles on a session.
+type RunRequest struct {
+	Cycles int `json:"cycles"`
+	// Chunking enables the cypress chunk schedule (AddProductionRuntime
+	// mid-stream); ignored for program sessions.
+	Chunking bool `json:"chunking,omitempty"`
+	// Deadline bounds each cycle for this request only (Go duration
+	// string).
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// RunResult reports a batch of cycles.
+type RunResult struct {
+	Cycles       int      `json:"cycles"`
+	Fired        int      `json:"fired,omitempty"`
+	Tasks        int      `json:"tasks"`
+	Failed       int      `json:"failed"`
+	Recovered    int      `json:"recovered"`
+	Quiesced     bool     `json:"quiesced,omitempty"`
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// DeltaJSON is one wire-format wme change: adds carry class+fields (string
+// = symbol, number, null), removes reference a previously returned wme id.
+type DeltaJSON struct {
+	Op     string `json:"op"`
+	Class  string `json:"class,omitempty"`
+	Fields []any  `json:"fields,omitempty"`
+	ID     uint64 `json:"id,omitempty"`
+}
+
+// DeltasRequest posts wme changes to a program session.
+type DeltasRequest struct {
+	Deltas []DeltaJSON `json:"deltas"`
+}
+
+// DeltaResult reports one delta cycle.
+type DeltaResult struct {
+	Added       []uint64 `json:"added,omitempty"`
+	Tasks       int      `json:"tasks"`
+	Failed      bool     `json:"failed"`
+	Recovered   bool     `json:"recovered"`
+	Reason      string   `json:"reason,omitempty"`
+	BadDeltas   int      `json:"bad_deltas"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// SessionInfo is a session stats snapshot.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Task      string `json:"task"`
+	Created   string `json:"created"`
+	Cycles    int    `json:"cycles"`
+	Fired     int    `json:"fired"`
+	WM        int    `json:"wm"`
+	Conflict  int    `json:"conflict_set"`
+	BadDeltas int    `json:"bad_deltas"`
+	Recovered int    `json:"recovered_cycles"`
+	Chunks    int    `json:"chunks"`
+}
+
+// InstJSON is one conflict-set instantiation on the wire.
+type InstJSON struct {
+	Production string   `json:"production"`
+	TimeTags   []uint64 `json:"timetags"`
+}
+
+type errJSON struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+// Handler returns the service mux wrapped in the admission middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("GET /sessions/{id}", s.handleStats)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /sessions/{id}/run", s.handleRun)
+	mux.HandleFunc("POST /sessions/{id}/deltas", s.handleDeltas)
+	mux.HandleFunc("GET /sessions/{id}/conflict-set", s.handleConflictSet)
+	mux.HandleFunc("GET /sessions/{id}/audit", s.handleAudit)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		start := time.Now()
+		defer func() { s.mLatency.Observe(time.Since(start).Seconds()) }()
+		// /healthz stays reachable during drain so orchestration can watch
+		// the shutdown; everything else is refused up front.
+		if s.draining.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Connection", "close")
+			writeJSON(w, http.StatusServiceUnavailable, errJSON{Error: "draining"})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "sessions": n, "draining": s.draining.Load(), "workers": s.budget.Cap(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ecfg := engine.DefaultConfig()
+	ecfg.Processes = s.cfg.Processes
+	if req.Processes > 0 {
+		ecfg.Processes = req.Processes
+	}
+	ecfg.Policy = s.cfg.Policy
+	if req.Policy != "" {
+		p, err := prun.ParsePolicy(req.Policy)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ecfg.Policy = p
+	}
+	ecfg.Deadline = s.cfg.Deadline
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad deadline: %v", err)
+			return
+		}
+		ecfg.Deadline = d
+	}
+	ecfg.Budget = s.budget
+	ecfg.Obs = s.cfg.Obs
+
+	ss := &Session{
+		Created: time.Now(),
+		cmds:    make(chan command, s.cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	prods := 0
+	switch {
+	case req.Task == "cypress":
+		var p cypress.Params
+		if req.Params != nil {
+			p = *req.Params
+		}
+		sys := cypress.Generate(p)
+		eng := engine.New(ecfg)
+		if err := eng.LoadProgram(sys.Source); err != nil {
+			writeErr(w, http.StatusBadRequest, "cypress program: %v", err)
+			return
+		}
+		ss.Task = "cypress"
+		ss.eng = eng
+		ss.sys = sys
+		ss.drv = cypress.NewDriver(sys, eng.Tab, eng.WM)
+		prods = sys.Params.Productions
+	case req.Task == "" && req.Program != "":
+		eng := engine.New(ecfg)
+		if err := eng.LoadProgram(req.Program); err != nil {
+			writeErr(w, http.StatusBadRequest, "program: %v", err)
+			return
+		}
+		ss.Task = "program"
+		ss.eng = eng
+	case req.Task != "":
+		writeErr(w, http.StatusBadRequest, "unknown task %q (available: cypress, or upload an OPS5 program)", req.Task)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "need task or program")
+		return
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
+		return
+	}
+	s.nextID++
+	ss.ID = fmt.Sprintf("s%d", s.nextID)
+	s.sessions[ss.ID] = ss
+	s.mSessions.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	go ss.loop()
+
+	writeJSON(w, http.StatusCreated, CreateResult{ID: ss.ID, Task: ss.Task, Productions: prods})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	s.mu.Lock()
+	ss := s.sessions[r.PathValue("id")]
+	s.mu.Unlock()
+	if ss == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+	}
+	return ss
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		all = append(all, ss)
+	}
+	s.mu.Unlock()
+	infos := make([]*SessionInfo, 0, len(all))
+	for _, ss := range all {
+		v, err := ss.submit(r.Context().Done(), func() (any, error) { return ss.stats(), nil })
+		if err != nil {
+			continue // busy or closing; listing is best-effort
+		}
+		infos = append(infos, v.(*SessionInfo))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+// dispatch submits fn to the session and writes the reply, mapping
+// backpressure to 429 + Retry-After.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, ss *Session, fn func() (any, error)) {
+	v, err := ss.submit(r.Context().Done(), fn)
+	switch {
+	case err == errBusy:
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "session %s queue full", ss.ID)
+	case err == errGone:
+		writeErr(w, http.StatusGone, "session %s closed", ss.ID)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	s.dispatch(w, r, ss, func() (any, error) { return ss.stats(), nil })
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Cycles <= 0 || req.Cycles > 100000 {
+		writeErr(w, http.StatusBadRequest, "cycles must be in [1, 100000]")
+		return
+	}
+	var deadline time.Duration
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad deadline: %v", err)
+			return
+		}
+		deadline = d
+	}
+	s.dispatch(w, r, ss, func() (any, error) {
+		return ss.withDeadline(deadline, func() (any, error) {
+			res, err := ss.runCycles(req.Cycles, req.Chunking)
+			if res != nil {
+				s.mCycles.Add(uint64(res.Cycles))
+			}
+			return res, err
+		})
+	})
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	var req DeltasRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.dispatch(w, r, ss, func() (any, error) {
+		res, err := ss.applyDeltas(req.Deltas)
+		if err == nil {
+			s.mCycles.Inc()
+		}
+		return res, err
+	})
+}
+
+func (s *Server) handleConflictSet(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	s.dispatch(w, r, ss, func() (any, error) {
+		insts := ss.eng.CS.All()
+		out := make([]InstJSON, 0, len(insts))
+		for _, in := range insts {
+			tags := make([]uint64, len(in.WMEs))
+			for i, wm := range in.WMEs {
+				tags[i] = wm.TimeTag
+			}
+			out = append(out, InstJSON{Production: in.Prod.Name, TimeTags: tags})
+		}
+		return map[string]any{"instantiations": out, "fingerprint": Fingerprint(ss.eng)}, nil
+	})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	s.dispatch(w, r, ss, func() (any, error) {
+		if err := ss.eng.AuditInvariants(); err != nil {
+			return map[string]any{"ok": false, "error": err.Error()}, nil
+		}
+		return map[string]any{"ok": true}, nil
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss := s.sessions[id]
+	if ss != nil {
+		delete(s.sessions, id)
+		s.mSessions.Set(float64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if ss == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	ss.shutdown()
+	<-ss.done
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// RetryAfter parses a 429 response's Retry-After seconds (1 on absence);
+// the load generator honors it.
+func RetryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return time.Second
+}

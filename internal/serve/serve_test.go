@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"soarpsme/internal/obs"
+)
+
+// testServer boots a serve.Server behind httptest.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) (int, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+const serveProgSrc = `
+(literalize fact v)
+(literalize seen v)
+(p note (fact ^v <v>) --> (make seen ^v <v>))
+`
+
+func TestProgramSessionLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, Processes: 2})
+
+	var created CreateResult
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	base := ts.URL + "/sessions/" + created.ID
+
+	// Post two adds: one match cycle, two assigned ids.
+	var dres DeltaResult
+	code, _ := doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{1}},
+		{Op: "add", Class: "fact", Fields: []any{2}},
+	}}, &dres)
+	if code != http.StatusOK || len(dres.Added) != 2 || dres.Failed {
+		t.Fatalf("deltas: code=%d %+v", code, dres)
+	}
+
+	// The two matches are in the conflict set.
+	var cs struct {
+		Instantiations []InstJSON `json:"instantiations"`
+		Fingerprint    string     `json:"fingerprint"`
+	}
+	if code, _ := doJSON(t, "GET", base+"/conflict-set", nil, &cs); code != http.StatusOK || len(cs.Instantiations) != 2 {
+		t.Fatalf("conflict-set: code=%d %+v", code, cs)
+	}
+
+	// Run to quiescence: both instantiations fire.
+	var rres RunResult
+	if code, _ := doJSON(t, "POST", base+"/run", RunRequest{Cycles: 10}, &rres); code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	if rres.Fired != 2 || !rres.Quiesced {
+		t.Fatalf("run: %+v", rres)
+	}
+
+	var info SessionInfo
+	if code, _ := doJSON(t, "GET", base, nil, &info); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if info.Fired != 2 || info.WM != 4 || info.BadDeltas != 0 {
+		t.Fatalf("stats: %+v", info)
+	}
+
+	var audit struct {
+		OK bool `json:"ok"`
+	}
+	if code, _ := doJSON(t, "GET", base+"/audit", nil, &audit); code != http.StatusOK || !audit.OK {
+		t.Fatalf("audit: code=%d ok=%v", code, audit.OK)
+	}
+
+	if code, _ := doJSON(t, "DELETE", base, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", base, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("stats after delete: %d", code)
+	}
+}
+
+// TestBadRemoveReportedNotDesynced pins the serve-visible half of the
+// WM-delta symmetry fix: removing an unknown wme id is reported as a bad
+// delta on a failed-but-recovered cycle, and the session stays consistent.
+func TestBadRemoveReportedNotDesynced(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, Obs: obs.New()})
+	var created CreateResult
+	doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created)
+	base := ts.URL + "/sessions/" + created.ID
+
+	var dres DeltaResult
+	doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{7}},
+	}}, &dres)
+	id := dres.Added[0]
+
+	// Remove it twice in one batch: second is a bad delta.
+	code, _ := doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "remove", ID: id},
+		{Op: "remove", ID: id},
+	}}, &dres)
+	if code != http.StatusOK {
+		t.Fatalf("deltas: %d", code)
+	}
+	if !dres.Failed || !dres.Recovered || dres.BadDeltas != 1 {
+		t.Fatalf("double remove: %+v", dres)
+	}
+	// Remove of a never-allocated id likewise.
+	code, _ = doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "remove", ID: 999999},
+	}}, &dres)
+	if code != http.StatusOK || !dres.Failed || dres.BadDeltas != 1 {
+		t.Fatalf("unknown remove: code=%d %+v", code, dres)
+	}
+
+	var audit struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if code, _ := doJSON(t, "GET", base+"/audit", nil, &audit); code != http.StatusOK || !audit.OK {
+		t.Fatalf("audit after bad deltas: code=%d %+v", code, audit)
+	}
+	var info SessionInfo
+	doJSON(t, "GET", base, nil, &info)
+	if info.BadDeltas != 2 || info.Recovered != 2 {
+		t.Fatalf("stats after bad deltas: %+v", info)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, c := range []struct {
+		req  CreateRequest
+		want int
+	}{
+		{CreateRequest{}, http.StatusBadRequest},
+		{CreateRequest{Task: "nope"}, http.StatusBadRequest},
+		{CreateRequest{Program: "(p broken"}, http.StatusBadRequest},
+		{CreateRequest{Program: serveProgSrc, Policy: "bogus"}, http.StatusBadRequest},
+		{CreateRequest{Program: serveProgSrc, Deadline: "soon"}, http.StatusBadRequest},
+	} {
+		if code, _ := doJSON(t, "POST", ts.URL+"/sessions", c.req, nil); code != c.want {
+			t.Fatalf("create %+v: code=%d want %d", c.req, code, c.want)
+		}
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions/nope/run", RunRequest{Cycles: 1}, nil); code != http.StatusNotFound {
+		t.Fatalf("run on missing session: %d", code)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, nil); code != http.StatusCreated {
+			t.Fatalf("create %d: %d", i, code)
+		}
+	}
+	code, hdr := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, nil)
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("over-limit create: code=%d Retry-After=%q", code, hdr.Get("Retry-After"))
+	}
+}
+
+// TestBackpressure429 fills a session's admission queue and checks the next
+// request is rejected fast with 429 + Retry-After instead of queueing.
+func TestBackpressure429(t *testing.T) {
+	s, ts := testServer(t, Config{QueueDepth: 1, Obs: obs.New()})
+	var created CreateResult
+	doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created)
+	s.mu.Lock()
+	ss := s.sessions[created.ID]
+	s.mu.Unlock()
+
+	// Occupy the loop with a blocking command, then fill the queue.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go ss.submit(nil, func() (any, error) { close(started); <-release; return nil, nil })
+	<-started
+	go ss.submit(nil, func() (any, error) { return nil, nil })
+	// The filler lands in the queue; wait until it is actually enqueued.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ss.cmds) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr := doJSON(t, "GET", ts.URL+"/sessions/"+created.ID, nil, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: code=%d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.cfg.Obs.Counter("serve_backpressure_rejections_total").Value(); got == 0 {
+		t.Fatal("rejection not counted")
+	}
+	close(release)
+
+	// Once the loop drains, the same request succeeds.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		code, _ = doJSON(t, "GET", ts.URL+"/sessions/"+created.ID, nil, nil)
+		if code == http.StatusOK || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("after release: code=%d", code)
+	}
+}
+
+// TestDrainRejectsButFinishes checks drain semantics: new work is refused
+// with 503 while admitted work completes and no cycles are lost.
+func TestDrainRejectsButFinishes(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	var created CreateResult
+	doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created)
+	base := ts.URL + "/sessions/" + created.ID
+	var dres DeltaResult
+	doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{1}},
+	}}, &dres)
+
+	// Enqueue a run, then drain immediately: the run must still finish.
+	type result struct {
+		code int
+		res  RunResult
+	}
+	got := make(chan result, 1)
+	go func() {
+		var r RunResult
+		code, _ := doJSON(t, "POST", base+"/run", RunRequest{Cycles: 5}, &r)
+		got <- result{code, r}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Drain()
+
+	if code, _ := doJSON(t, "GET", base, nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: code=%d, want 503", code)
+	}
+	// healthz stays reachable and reports draining.
+	var hz struct {
+		Draining bool `json:"draining"`
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &hz); code != http.StatusOK || !hz.Draining {
+		t.Fatalf("healthz during drain: code=%d draining=%v", code, hz.Draining)
+	}
+
+	r := <-got
+	if r.code != http.StatusOK || r.res.Fired != 1 {
+		t.Fatalf("in-flight run after drain: code=%d %+v", r.code, r.res)
+	}
+	s.Close() // must not hang or drop the completed work
+}
+
+func TestCypressSessionRuns(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4})
+	var created CreateResult
+	req := CreateRequest{Task: "cypress", Params: cypressParams(20, 12, 2, 5)}
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions", req, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if created.Productions != 20 {
+		t.Fatalf("productions = %d", created.Productions)
+	}
+	base := ts.URL + "/sessions/" + created.ID
+	var rres RunResult
+	if code, _ := doJSON(t, "POST", base+"/run", RunRequest{Cycles: 12, Chunking: true}, &rres); code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	if rres.Cycles != 12 || len(rres.Fingerprints) != 12 {
+		t.Fatalf("run: %+v", rres)
+	}
+	var info SessionInfo
+	doJSON(t, "GET", base, nil, &info)
+	if info.Cycles != 12 || info.Chunks == 0 {
+		t.Fatalf("stats: %+v (want 12 cycles and chunks added)", info)
+	}
+	// Deltas are rejected on driver-owned sessions.
+	if code, _ := doJSON(t, "POST", base+"/deltas", DeltasRequest{Deltas: []DeltaJSON{{Op: "add", Class: "step"}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("deltas on cypress session: %d", code)
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/tasks/cypress"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// command is one unit of session work: fn runs on the session's loop
+// goroutine (so all engine access is serialized) and its result is sent on
+// reply. reply is buffered so the loop never blocks on a handler that
+// abandoned the request.
+type command struct {
+	fn    func() (any, error)
+	reply chan cmdReply
+}
+
+type cmdReply struct {
+	v   any
+	err error
+}
+
+// Session hosts one engine behind a serialized command loop. Cypress
+// sessions carry the workload driver and chunk schedule server-side;
+// program sessions hold an uploaded OPS5 program driven by client deltas
+// and recognize-act steps.
+type Session struct {
+	ID      string
+	Task    string // "cypress" or "program"
+	Created time.Time
+
+	eng *engine.Engine
+	// cypress-task state (nil for program sessions).
+	sys       *cypress.System
+	drv       *cypress.Driver
+	nextChunk int
+
+	cycles int // match cycles run via /run
+	chunks int // productions added at run time
+
+	cmds     chan command
+	quit     chan struct{} // closed via shutdown: drain queue and exit
+	done     chan struct{} // closed when the loop has exited
+	quitOnce sync.Once
+}
+
+// shutdown asks the loop to drain and exit; safe to call more than once
+// (session DELETE can race Server.Close).
+func (s *Session) shutdown() { s.quitOnce.Do(func() { close(s.quit) }) }
+
+func (s *Session) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case c := <-s.cmds:
+			s.exec(c)
+		case <-s.quit:
+			// Drain: commands already admitted still run to completion
+			// (their cycles must not be lost), then the loop exits.
+			for {
+				select {
+				case c := <-s.cmds:
+					s.exec(c)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Session) exec(c command) {
+	v, err := c.fn()
+	c.reply <- cmdReply{v: v, err: err}
+}
+
+// errBusy is returned when the session's admission queue is full; the
+// handler maps it to 429 + Retry-After.
+var errBusy = fmt.Errorf("serve: session queue full")
+
+// errGone is returned when the session loop has already exited.
+var errGone = fmt.Errorf("serve: session closed")
+
+// submit enqueues fn on the session loop and waits for its reply or the
+// request context's cancellation. A full queue fails fast with errBusy —
+// the backpressure signal — rather than queueing unboundedly.
+func (s *Session) submit(cancel <-chan struct{}, fn func() (any, error)) (any, error) {
+	c := command{fn: fn, reply: make(chan cmdReply, 1)}
+	select {
+	case s.cmds <- c:
+	case <-s.done:
+		return nil, errGone
+	default:
+		return nil, errBusy
+	}
+	select {
+	case r := <-c.reply:
+		return r.v, r.err
+	case <-cancel:
+		// The client went away; the command still runs (the loop owns it)
+		// but nobody reads the buffered reply.
+		return nil, fmt.Errorf("serve: request canceled")
+	case <-s.done:
+		// The loop drained the queue and exited after our enqueue raced
+		// Server.Close; the reply (if any) is in the buffer.
+		select {
+		case r := <-c.reply:
+			return r.v, r.err
+		default:
+			return nil, errGone
+		}
+	}
+}
+
+// withDeadline runs fn with the runtime's cycle watchdog set to d (0 keeps
+// the session default). Safe here because only the loop goroutine runs
+// engine cycles.
+func (s *Session) withDeadline(d time.Duration, fn func() (any, error)) (any, error) {
+	if d > 0 {
+		prev := s.eng.RT.Deadline()
+		s.eng.RT.SetDeadline(d)
+		defer s.eng.RT.SetDeadline(prev)
+	}
+	return fn()
+}
+
+// runCycles advances the session n match cycles. Cypress sessions pull
+// batches from the server-side driver and, with chunking on, add scheduled
+// chunk productions mid-stream; program sessions run recognize-act steps.
+// It reports per-cycle conflict-set fingerprints so clients can verify
+// byte-identical match results against a solo serial run.
+func (s *Session) runCycles(n int, chunking bool) (*RunResult, error) {
+	res := &RunResult{}
+	for i := 0; i < n; i++ {
+		switch s.Task {
+		case "cypress":
+			cs := s.eng.ApplyAndMatch(s.drv.Batch())
+			res.Tasks += cs.Tasks
+			if cs.Failed {
+				res.Failed++
+			}
+			if cs.Recovered {
+				res.Recovered++
+			}
+			if chunking {
+				for s.nextChunk < len(s.drv.ChunkAt) && s.drv.ChunkAt[s.nextChunk] == s.cycles {
+					ast, err := s.sys.ParseChunk(s.nextChunk, s.eng.Tab)
+					if err != nil {
+						return res, fmt.Errorf("serve: chunk %d: %w", s.nextChunk, err)
+					}
+					if _, err := s.eng.AddProductionRuntime(ast); err != nil {
+						return res, fmt.Errorf("serve: chunk %d: %w", s.nextChunk, err)
+					}
+					s.nextChunk++
+					s.chunks++
+				}
+			}
+		case "program":
+			fired, err := s.eng.Step()
+			if err != nil {
+				return res, err
+			}
+			if !fired {
+				res.Quiesced = true
+				return res, nil
+			}
+			res.Fired++
+		}
+		s.cycles++
+		res.Cycles++
+		res.Fingerprints = append(res.Fingerprints, Fingerprint(s.eng))
+	}
+	return res, nil
+}
+
+// applyDeltas converts the wire-format deltas and runs them through one
+// match cycle. Added wmes get server-assigned ids (returned in order) that
+// later removes reference. Bad deltas — unknown remove ids included — are
+// dropped and counted by the engine, and the cycle degrades through the
+// serial-recovery path; the response reports it rather than desyncing.
+func (s *Session) applyDeltas(in []DeltaJSON) (*DeltaResult, error) {
+	if s.Task != "program" {
+		return nil, fmt.Errorf("serve: deltas only apply to program sessions (task %q drives its own workload)", s.Task)
+	}
+	var ds []wme.Delta
+	var added []uint64
+	for i, dj := range in {
+		switch dj.Op {
+		case "add":
+			cls := s.eng.Tab.Intern(dj.Class)
+			fields := make([]value.Value, len(dj.Fields))
+			for j, f := range dj.Fields {
+				v, err := jsonValue(s.eng.Tab, f)
+				if err != nil {
+					return nil, fmt.Errorf("serve: delta %d field %d: %w", i, j, err)
+				}
+				fields[j] = v
+			}
+			w := s.eng.WM.Make(cls, fields)
+			added = append(added, w.ID)
+			ds = append(ds, wme.Delta{Op: wme.Add, WME: w})
+		case "remove":
+			w := s.eng.WM.Get(dj.ID)
+			if w == nil {
+				// Reference the id anyway: the engine counts it as a bad
+				// delta and recovers, keeping server and client views honest.
+				w = &wme.WME{ID: dj.ID}
+			}
+			ds = append(ds, wme.Delta{Op: wme.Remove, WME: w})
+		default:
+			return nil, fmt.Errorf("serve: delta %d: bad op %q", i, dj.Op)
+		}
+	}
+	bad0 := s.eng.BadDeltas
+	cs := s.eng.ApplyAndMatch(ds)
+	s.cycles++
+	return &DeltaResult{
+		Added:       added,
+		Tasks:       cs.Tasks,
+		Failed:      cs.Failed,
+		Recovered:   cs.Recovered,
+		Reason:      cs.Reason,
+		BadDeltas:   s.eng.BadDeltas - bad0,
+		Fingerprint: Fingerprint(s.eng),
+	}, nil
+}
+
+// jsonValue maps a JSON field to an engine value: strings intern as
+// symbols, numbers become ints when integral, null is nil.
+func jsonValue(tab *value.Table, f any) (value.Value, error) {
+	switch v := f.(type) {
+	case nil:
+		return value.Nil, nil
+	case string:
+		return tab.SymV(v), nil
+	case float64:
+		if v == float64(int64(v)) {
+			return value.IntVal(int64(v)), nil
+		}
+		return value.FloatVal(v), nil
+	default:
+		return value.Nil, fmt.Errorf("unsupported field type %T", f)
+	}
+}
+
+// Fingerprint renders an engine's match state canonically: WM size,
+// conflict-set size, and every instantiation as production name plus its
+// wme time tags, sorted. Two engines that matched the same workload produce
+// byte-identical fingerprints regardless of worker count, policy, or
+// recovery path — the serving layer's conformance contract.
+func Fingerprint(e *engine.Engine) string {
+	insts := e.CS.All()
+	lines := make([]string, 0, len(insts))
+	for _, in := range insts {
+		var b strings.Builder
+		b.WriteString(in.Prod.Name)
+		b.WriteByte('(')
+		for i, w := range in.WMEs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", w.TimeTag)
+		}
+		b.WriteByte(')')
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("wm=%d cs=%d %s", e.WM.Len(), len(insts), strings.Join(lines, " "))
+}
+
+// SoloFingerprints runs a cypress workload on a fresh single-worker serial
+// engine, mirroring a served session's cycle loop exactly, and returns the
+// per-cycle fingerprints. The conformance test and the load generator use
+// it as the byte-identical reference for every served session.
+func SoloFingerprints(p cypress.Params, cycles int, chunking bool) ([]string, error) {
+	sys := cypress.Generate(p)
+	ec := engine.DefaultConfig()
+	ec.Processes = 1
+	e := engine.New(ec)
+	if err := e.LoadProgram(sys.Source); err != nil {
+		return nil, err
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+	var fps []string
+	next := 0
+	for cyc := 0; cyc < cycles; cyc++ {
+		e.ApplyAndMatch(drv.Batch())
+		if chunking {
+			for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
+				ast, err := sys.ParseChunk(next, e.Tab)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := e.AddProductionRuntime(ast); err != nil {
+					return nil, err
+				}
+				next++
+			}
+		}
+		fps = append(fps, Fingerprint(e))
+	}
+	return fps, nil
+}
+
+// stats snapshots the session for GET /sessions/{id}. Runs on the loop.
+func (s *Session) stats() *SessionInfo {
+	info := &SessionInfo{
+		ID:        s.ID,
+		Task:      s.Task,
+		Created:   s.Created.UTC().Format(time.RFC3339),
+		Cycles:    s.cycles,
+		Fired:     s.eng.Fired,
+		WM:        s.eng.WM.Len(),
+		Conflict:  s.eng.CS.Len(),
+		BadDeltas: s.eng.BadDeltas,
+		Chunks:    s.chunks,
+	}
+	for _, cs := range s.eng.CycleStats {
+		if cs.Recovered {
+			info.Recovered++
+		}
+	}
+	return info
+}

@@ -14,6 +14,7 @@ type Histogram struct {
 	BinWidth int
 	counts   map[int]int
 	n        int
+	max      int
 }
 
 // NewHistogram creates a histogram with the given bin width.
@@ -26,12 +27,18 @@ func NewHistogram(binWidth int) *Histogram {
 
 // Add records one value.
 func (h *Histogram) Add(v int) {
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
 	h.counts[v/h.BinWidth]++
 	h.n++
 }
 
 // N returns the number of recorded values.
 func (h *Histogram) N() int { return h.n }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int { return h.max }
 
 // Bin is one histogram bin: [Lo, Lo+width) with its percentage share.
 type Bin struct {
@@ -68,15 +75,30 @@ func (h *Histogram) Percentile(p float64) float64 {
 	}
 	cum := 0.0
 	bins := h.Bins()
-	for _, b := range bins {
-		if cum+float64(b.Count) >= target {
-			frac := (target - cum) / float64(b.Count)
-			return float64(b.Lo) + frac*float64(h.BinWidth)
+	var v float64
+	for i, b := range bins {
+		cnt := float64(b.Count)
+		// The last bin always resolves: cumulative float rounding can make
+		// target overshoot n slightly (p=100), and falling through here used
+		// to return last.Lo+BinWidth unconditionally.
+		if i == len(bins)-1 || cum+cnt >= target {
+			frac := (target - cum) / cnt
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			v = float64(b.Lo) + frac*float64(h.BinWidth)
+			break
 		}
-		cum += float64(b.Count)
+		cum += cnt
 	}
-	last := bins[len(bins)-1]
-	return float64(last.Lo + h.BinWidth)
+	// Interpolation estimates within [Lo, Lo+BinWidth), but the true maximum
+	// observation is known exactly: no percentile may exceed it.
+	if m := float64(h.max); v > m {
+		v = m
+	}
+	return v
 }
 
 // Percentiles returns the (p50, p90, p99) percentiles.

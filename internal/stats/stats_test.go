@@ -186,6 +186,59 @@ func TestPercentileEmpty(t *testing.T) {
 	}
 }
 
+// TestPercentileClampedToMax is the regression test for the float
+// fallthrough that returned last.Lo+BinWidth — a value above every recorded
+// observation — when cumulative rounding skipped the final bin: no
+// percentile, p=100 included, may exceed the recorded maximum, and p=100
+// must hit it exactly.
+func TestPercentileClampedToMax(t *testing.T) {
+	cases := []struct {
+		name     string
+		binWidth int
+		vals     []int
+	}{
+		{"single-bin single-value", 100, []int{3, 3, 3, 3, 3}},
+		{"single-bin at low edge", 10, []int{0, 0, 0}},
+		{"single observation", 10, []int{7}},
+		{"two bins", 10, []int{1, 2, 3, 25}},
+		{"uniform", 10, func() []int {
+			var v []int
+			for i := 1; i <= 100; i++ {
+				v = append(v, i)
+			}
+			return v
+		}()},
+		{"rounding-prone count", 7, []int{1, 2, 3, 4, 5, 6, 50, 50, 50}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(c.binWidth)
+			max := 0
+			for _, v := range c.vals {
+				h.Add(v)
+				if v > max {
+					max = v
+				}
+			}
+			if h.Max() != max {
+				t.Fatalf("Max = %d, want %d", h.Max(), max)
+			}
+			for _, p := range []float64{1, 50, 90, 99, 99.9, 100} {
+				got := h.Percentile(p)
+				if got > float64(max) {
+					t.Fatalf("Percentile(%g) = %g exceeds max observation %d", p, got, max)
+				}
+				if got < 0 {
+					t.Fatalf("Percentile(%g) = %g negative", p, got)
+				}
+			}
+			if got := h.Percentile(100); got != float64(max) {
+				t.Fatalf("Percentile(100) = %g, want max %d", got, max)
+			}
+		})
+	}
+}
+
 func TestPercentileMonotone(t *testing.T) {
 	check := func(vals []int) bool {
 		h := NewHistogram(7)
