@@ -11,10 +11,16 @@
 // comparison is itself a failure, so renamed or dropped cases can't slip
 // past the gate unnoticed.
 //
+// The Profiling/<task>/on|off pair is additionally gated intra-run: the
+// match profiler's always-on attribution counters must cost no more than
+// -prof-tolerance (5%) in ns/op over the unprofiled twin, independent of
+// any baseline file.
+//
 // Usage:
 //
 //	benchjson [-out file] [-baseline file] [-tolerance 0.10] [-strict]
 //	          [-match regexp] [-figures=false] [-serving=false]
+//	          [-profiling=false] [-prof-tolerance 0.05]
 package main
 
 import (
@@ -137,6 +143,56 @@ func compare(base, cur []result, tol float64, strict bool) []string {
 	return fails
 }
 
+// profGate enforces the intra-run profiling-overhead budget: for every
+// Profiling/<task>/on result with an /off twin, ns/op(on) must not exceed
+// ns/op(off) by more than tol. A failing pair is re-measured once — both
+// sides, back to back, keeping each side's best time — so a scheduler
+// hiccup on either twin doesn't fail the gate on its own.
+func profGate(cases []benchkit.Case, results []result, tol float64) []string {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	bench := map[string]func(b *testing.B){}
+	for _, c := range cases {
+		bench[c.Name] = c.Bench
+	}
+	var fails []string
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, "/on") || !strings.HasPrefix(r.Name, "Profiling/") {
+			continue
+		}
+		offName := strings.TrimSuffix(r.Name, "/on") + "/off"
+		off, ok := byName[offName]
+		if !ok || off <= 0 {
+			continue
+		}
+		on := r.NsPerOp
+		if on/off-1 > tol {
+			fmt.Fprintf(os.Stderr, "benchjson: %s over budget on first measurement (+%.1f%%), re-measuring the pair\n",
+				r.Name, 100*(on/off-1))
+			if b, ok := bench[offName]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < off {
+					off = v
+				}
+			}
+			if b, ok := bench[r.Name]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < on {
+					on = v
+				}
+			}
+		}
+		if growth := on/off - 1; growth > tol {
+			fails = append(fails, fmt.Sprintf("%s: profiling overhead %.0f -> %.0f ns/op (+%.1f%%, budget %.0f%%)",
+				r.Name, off, on, 100*growth, 100*tol))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: profiling overhead %+.1f%% (budget %.0f%%)\n",
+				r.Name, 100*growth, 100*tol)
+		}
+	}
+	return fails
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default BENCH_<git-short-sha>.json)")
 	basePath := flag.String("baseline", "", "baseline JSON to gate against; exit nonzero on regression")
@@ -144,6 +200,8 @@ func main() {
 	matchExpr := flag.String("match", "", "only run cases whose name matches this regexp")
 	figures := flag.Bool("figures", true, "include the Fig 6-7/6-8 regenerator benches")
 	serving := flag.Bool("serving", true, "include the internal/serve concurrent-session benches")
+	profiling := flag.Bool("profiling", true, "include the match-profiler overhead pair and gate it intra-run")
+	profTol := flag.Float64("prof-tolerance", 0.05, "allowed fractional ns/op overhead of profiling-on vs profiling-off")
 	strict := flag.Bool("strict", false, "with -baseline: fail on any current<->baseline name mismatch instead of skipping")
 	flag.Parse()
 
@@ -162,6 +220,9 @@ func main() {
 	}
 	if *serving {
 		cases = append(cases, benchkit.ServeCases()...)
+	}
+	if *profiling {
+		cases = append(cases, benchkit.ProfilingCases()...)
 	}
 	f := benchFile{
 		SHA:        gitShortSHA(),
@@ -188,6 +249,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+
+	if *profiling {
+		if fails := profGate(cases, f.Benchmarks, *profTol); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d profiling-overhead failure(s):\n", len(fails))
+			for _, s := range fails {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+	}
 
 	if *basePath != "" {
 		data, err := os.ReadFile(*basePath)

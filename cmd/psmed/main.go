@@ -2,6 +2,14 @@
 // engine sessions in one process behind the internal/serve HTTP/JSON API,
 // all sessions sharing one match-worker budget.
 //
+// Every request gets a structured log line (log/slog, text or JSON) with a
+// request ID that is echoed in the X-Request-ID header and in 429/503
+// bodies. Match profiling is always on: /debug/match serves per-session
+// and aggregate cost-attribution snapshots, and /debug/match/flight serves
+// the latest anomaly flight-recorder dump (watchdog, panic recovery,
+// serial fallback, or p99 SLO breach; -flight-dir also writes dumps to
+// disk as matchflight-*.json).
+//
 // Lifecycle: on SIGTERM/SIGINT the daemon drains — it stops admitting
 // requests (503), finishes every cycle already accepted, flushes the obs
 // sinks, and exits 0. A second signal force-exits.
@@ -11,19 +19,24 @@
 //	psmed [-addr :8740] [-workers N] [-procs N] [-policy work-stealing]
 //	      [-queue-depth 4] [-max-sessions 64] [-deadline 0]
 //	      [-trace out.json] [-metrics out.txt] [-listen :6060]
-//	      [-drain-timeout 30s]
+//	      [-drain-timeout 30s] [-log-json] [-quiet]
+//	      [-flight-dir DIR] [-flight-cycles 16] [-slo 0] [-sample-every 64]
+//	      [-fault-seed 0]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"soarpsme/internal/fault"
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/serve"
@@ -41,6 +54,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file at exit")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-text metrics snapshot at exit")
 	listen := flag.String("listen", "", "serve obs diagnostics (/metrics, /debug/pprof) on this address")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flightDir := flag.String("flight-dir", "", "write anomaly flight-recorder dumps (matchflight-*.json) into this directory")
+	flightCycles := flag.Int("flight-cycles", 16, "flight-recorder ring size in cycles (negative disables the recorder)")
+	slo := flag.Duration("slo", 0, "p99 cycle-latency SLO; a rolling-window breach trips the flight recorder (0 = off)")
+	sampleEvery := flag.Int("sample-every", 64, "wall-clock sample one match task in N (power of two)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed deterministic fault injection into every session's match workers (0 = off)")
+	faultPanic := flag.Int("fault-panic", -1, "override the injected panic rate per 65536 exec visits (-1 = default schedule)")
 	flag.Parse()
 
 	pol, err := prun.ParsePolicy(*policy)
@@ -59,6 +80,23 @@ func main() {
 		observer = obs.New()
 	}
 
+	var logger *slog.Logger
+	if !*quiet {
+		if *logJSON {
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		} else {
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	}
+	var inj *fault.Injector
+	if *faultSeed != 0 {
+		rates := fault.DefaultRates()
+		if *faultPanic >= 0 {
+			rates.Panic = uint32(*faultPanic)
+		}
+		inj = fault.Seeded(*faultSeed, rates)
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:     *workers,
 		Processes:   *procs,
@@ -67,6 +105,14 @@ func main() {
 		MaxSessions: *maxSessions,
 		Deadline:    *deadline,
 		Obs:         observer,
+		Log:         logger,
+		Fault:       inj,
+		Prof: &matchprof.Options{
+			SampleEvery:  *sampleEvery,
+			FlightCycles: *flightCycles,
+			FlightDir:    *flightDir,
+			SLO:          *slo,
+		},
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -12,6 +12,7 @@ import (
 
 	"soarpsme/internal/engine"
 	"soarpsme/internal/exp"
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/soar"
 	"soarpsme/internal/tasks/cypress"
@@ -33,6 +34,10 @@ type replayCfg struct {
 	task   string
 	pol    prun.Policy
 	unlink bool
+	// prof installs the always-on match-cost attribution counters
+	// (internal/matchprof, flight recorder off) — the ProfilingCases pair
+	// measures their hot-path overhead against the unprofiled twin.
+	prof bool
 }
 
 // capturedRun is a workload solved to quiescence plus its replayable
@@ -72,6 +77,9 @@ func engCfg(cfg replayCfg) engine.Config {
 	ec.Processes = 4
 	ec.Policy = cfg.pol
 	ec.Rete.Unlink = cfg.unlink
+	if cfg.prof {
+		ec.Prof = &matchprof.Options{FlightCycles: -1}
+	}
 	return ec
 }
 
@@ -201,6 +209,20 @@ func PolicyReplayCases() []Case {
 		}
 	}
 	return out
+}
+
+// ProfilingCases is the eight-puzzle replay bench twice: with the match
+// profiler's always-on attribution counters installed and without. The two
+// cases share everything else, so the ns/op ratio is the profiler's
+// hot-path overhead; cmd/benchjson gates it at -prof-tolerance (5%).
+func ProfilingCases() []Case {
+	base := replayCfg{task: "eight-puzzle", pol: prun.WorkStealing, unlink: true}
+	on := base
+	on.prof = true
+	return []Case{
+		{Name: "Profiling/eight-puzzle/off", Bench: replayBench(base)},
+		{Name: "Profiling/eight-puzzle/on", Bench: replayBench(on)},
+	}
 }
 
 // FigureCases regenerates the network-shape figures whose pipelines lean

@@ -13,6 +13,7 @@ import (
 
 	"soarpsme/internal/conflict"
 	"soarpsme/internal/fault"
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
@@ -47,6 +48,13 @@ type Config struct {
 	// -deadline flag); an expired cycle is poisoned and retried serially.
 	// Zero disables the watchdog.
 	Deadline time.Duration
+	// Prof, when non-nil, enables match profiling: per-production cost
+	// attribution, chain-depth/granularity histograms, and (unless the
+	// options disable it) the anomaly flight recorder — which forces
+	// runtime trace capture so each cycle's task DAG is retained in the
+	// recorder's ring even when CaptureTrace is off. Per-cycle traces are
+	// only kept on Engine.CycleStats when CaptureTrace itself is set.
+	Prof *matchprof.Options
 	// Budget, when non-nil, is a worker budget shared with other engines in
 	// the same process: each match cycle acquires up to Processes slots from
 	// it (at least one, so no engine starves) instead of unconditionally
@@ -75,6 +83,11 @@ type Engine struct {
 	strategy conflict.Strategy
 	halted   bool
 	gensym   int64
+
+	// Prof is the engine's match profiler (nil when cfg.Prof is nil). The
+	// serving layer snapshots it for /debug/match and labels it with the
+	// session ID.
+	Prof *matchprof.Profile
 
 	// CycleStats collects per-match-cycle statistics for the experiments.
 	CycleStats []prun.CycleStats
@@ -132,10 +145,19 @@ func New(cfg Config) *Engine {
 	reg := wme.NewRegistry()
 	cs := conflict.New()
 	nw := rete.NewNetwork(tab, reg, cs, cfg.Rete)
+	var prof *matchprof.Profile
+	capture := cfg.CaptureTrace
+	if cfg.Prof != nil {
+		prof = matchprof.New(nw, *cfg.Prof, cfg.Obs)
+		// The flight recorder needs each cycle's task DAG; trace capture is
+		// cheap (one append per task into a reused buffer) next to match
+		// itself.
+		capture = capture || prof.FlightEnabled()
+	}
 	rt := prun.New(nw, prun.Config{
 		Processes:    cfg.Processes,
 		Policy:       cfg.Policy,
-		CaptureTrace: cfg.CaptureTrace,
+		CaptureTrace: capture,
 		Fault:        cfg.Fault,
 		Deadline:     cfg.Deadline,
 		Budget:       cfg.Budget,
@@ -143,7 +165,7 @@ func New(cfg Config) *Engine {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 10000
 	}
-	e := &Engine{Tab: tab, Reg: reg, WM: wme.NewMemory(), NW: nw, RT: rt, CS: cs, cfg: cfg}
+	e := &Engine{Tab: tab, Reg: reg, WM: wme.NewMemory(), NW: nw, RT: rt, CS: cs, cfg: cfg, Prof: prof}
 	if o := cfg.Obs; o != nil {
 		e.obs = o
 		e.mCycles = o.Counter("match_cycles_total")
@@ -301,6 +323,8 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 	var start time.Time
 	if e.obs != nil {
 		e.obs.Tracer().MarkCycle()
+	}
+	if e.obs != nil || e.Prof != nil {
 		start = time.Now()
 	}
 	mark := e.CS.Mark()
@@ -323,9 +347,29 @@ func (e *Engine) ApplyAndMatch(deltas []wme.Delta) prun.CycleStats {
 		})
 		e.flushContention()
 	}
+	cs = e.endCycleProf(cs, start)
 	e.CycleStats = append(e.CycleStats, cs)
 	if e.AfterCycle != nil {
 		e.AfterCycle(&e.CycleStats[len(e.CycleStats)-1])
+	}
+	return cs
+}
+
+// endCycleProf hands a finished cycle to the match profiler. The flight
+// ring keeps the trace; unless the caller asked for traces on CycleStats
+// the engine's own copy is dropped so long-running serving sessions don't
+// accumulate every cycle's task DAG.
+func (e *Engine) endCycleProf(cs prun.CycleStats, start time.Time) prun.CycleStats {
+	if e.Prof == nil {
+		return cs
+	}
+	e.Prof.EndCycle(matchprof.CycleEvent{
+		Cycle: int64(len(e.CycleStats)),
+		Dur:   time.Since(start),
+		Stats: cs,
+	})
+	if !e.cfg.CaptureTrace {
+		cs.Trace = nil
 	}
 	return cs
 }
@@ -679,7 +723,7 @@ func (e *Engine) AddProductionRuntime(ast *ops5.Production) (*AddResult, error) 
 		e.RT.SetUpdateFilter(info.FirstNewID)
 		seeds := e.NW.SeedUpdateTasks(info)
 		var ustart time.Time
-		if e.obs != nil {
+		if e.obs != nil || e.Prof != nil {
 			ustart = time.Now()
 		}
 		mark := e.CS.Mark()
@@ -697,6 +741,7 @@ func (e *Engine) AddProductionRuntime(ast *ops5.Production) (*AddResult, error) 
 			e.flushContention()
 		}
 		e.RT.SetUpdateFilter(0)
+		res.Update = e.endCycleProf(res.Update, ustart)
 		e.UpdateStats = append(e.UpdateStats, res.Update)
 	}
 	e.Additions = append(e.Additions, res)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/rete"
 	"soarpsme/internal/sim"
@@ -234,6 +235,12 @@ type Diagnosis struct {
 	Cause string
 	// Production owning the node where the critical path terminates.
 	Production string
+	// ChainDepth and NullRate describe that production across the whole
+	// run, sourced from the engine's matchprof attribution snapshot: the
+	// static length of its two-input chain and the fraction of its
+	// activations that emitted nothing.
+	ChainDepth int
+	NullRate   float64
 	Suggestion string
 }
 
@@ -249,6 +256,14 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 				owner[n.ID] = p.Name
 			}
 			n = n.Parent
+		}
+	}
+	// Per-production run-wide attribution (chain depth, null rate) from the
+	// matchprof snapshot harvested at capture time.
+	prodProf := map[string]matchprof.ProdCost{}
+	if c.Prof != nil {
+		for _, p := range c.Prof.Productions {
+			prodProf[p.Name] = p
 		}
 	}
 	var out []Diagnosis
@@ -281,6 +296,10 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 			}
 		}
 		d.Production = owner[tail.Node]
+		if pp, ok := prodProf[d.Production]; ok {
+			d.ChainDepth = pp.ChainDepth
+			d.NullRate = pp.NullRate
+		}
 		switch {
 		case len(tr) < 30:
 			d.Cause = "small-cycle"
@@ -303,7 +322,7 @@ func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 func DiagnoseTable(l *Lab) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Diagnostics (§7): low-speedup cycles, Eight-puzzle during chunking (11 processes, speedup < 5)",
-		Headers: []string{"Tasks", "Speedup", "Critical path", "Failed pops", "Steals", "Cause", "Suggestion"},
+		Headers: []string{"Tasks", "Speedup", "Critical path", "Chain depth", "Null rate", "Failed pops", "Steals", "Cause", "Suggestion"},
 	}
 	c, err := l.EightPuzzle(DuringChunk)
 	if err != nil {
@@ -319,27 +338,40 @@ func DiagnoseTable(l *Lab) (*stats.Table, error) {
 			fmt.Sprintf("%d", d.CycleTasks),
 			fmt.Sprintf("%.2f", d.Speedup),
 			fmt.Sprintf("%d", d.CriticalPath),
+			fmt.Sprintf("%d", d.ChainDepth),
+			fmt.Sprintf("%.0f%%", 100*d.NullRate),
 			fmt.Sprintf("%d", d.FailedPops),
 			fmt.Sprintf("%d", d.Steals),
 			d.Cause,
 			d.Suggestion)
 	}
 	if len(diags) > max {
-		t.AddRow(fmt.Sprintf("(+%d more)", len(diags)-max), "", "", "", "", "", "")
+		t.AddRow(fmt.Sprintf("(+%d more)", len(diags)-max), "", "", "", "", "", "", "", "")
 	}
 	// The live runtime's own queue diagnostics for the whole capture — the
 	// counters prun records but the harness previously dropped. FailedPops
 	// excludes quiescence-detection probes (one per worker per cycle, now
 	// counted separately), which used to inflate this number by exactly one
 	// per sequential capture cycle.
-	t.AddRow("(live run)", "", "",
+	t.AddRow("(live run)", "", "", "", "",
 		fmt.Sprintf("%d", c.FailedPops),
 		fmt.Sprintf("%d", c.Steals),
 		"runtime totals",
 		fmt.Sprintf("failed pops / steals observed by prun across all cycles (%d quiescence probes)", c.TermProbes))
-	t.AddRow("(match filtering)", "", "", "", "",
+	t.AddRow("(match filtering)", "", "", "", "", "", "",
 		"runtime totals",
 		fmt.Sprintf("null activations suppressed %d (unlink=%v); alpha dispatch %d hits / %d misses — see abl-unlink",
 			c.NullSuppressed, c.eng.NW.Opts.Unlink, c.AlphaHits, c.AlphaMisses))
+	if p := c.Prof; p != nil {
+		hottest := "-"
+		if len(p.Productions) > 0 {
+			h := p.Productions[0]
+			hottest = fmt.Sprintf("hottest %s: chain %d, %.0f%% null, %.0f%% of modeled cost",
+				h.Name, h.ChainDepth, 100*h.NullRate, 100*h.CostShare)
+		}
+		t.AddRow("(match profile)", "", "", "", fmt.Sprintf("%.0f%%", 100*p.NullRate), "", "",
+			"runtime totals",
+			fmt.Sprintf("%d activations over %d nodes; %s", p.Totals.Acts, p.Nodes, hottest))
+	}
 	return t, nil
 }

@@ -14,6 +14,7 @@ import (
 	"soarpsme/internal/codegen"
 	"soarpsme/internal/engine"
 	"soarpsme/internal/fault"
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/ops5"
 	"soarpsme/internal/prun"
@@ -62,6 +63,11 @@ type Capture struct {
 	Halted         bool
 	Decisions      int
 	Moves          int // operator decisions in the top goal
+	// Prof is the engine's match-cost attribution snapshot at the end of
+	// the run: per-production activation/null counters, chain depths, and
+	// the depth/granularity histograms (diagnose sources its null-rate and
+	// chain-depth columns here instead of recomputing from traces).
+	Prof *matchprof.Snapshot
 	// TaskProdCEs is the CE count of each task (non-chunk) production.
 	TaskProdCEs []int
 	// Agent/engine are retained for follow-up queries (chunk transfer).
@@ -107,6 +113,9 @@ func (c *Capture) harvest(e *engine.Engine) {
 	c.NullSuppressed = e.NW.Stats.NullSuppressed.Load()
 	c.AlphaHits = e.NW.Stats.AlphaHits.Load()
 	c.AlphaMisses = e.NW.Stats.AlphaMisses.Load()
+	if e.Prof != nil {
+		c.Prof = e.Prof.Snapshot()
+	}
 }
 
 func countCEs(p *ops5.Production) int {
@@ -196,6 +205,9 @@ func (l *Lab) engCfg() engine.Config {
 	cfg.Obs = l.obs
 	cfg.Fault = l.fault
 	cfg.Deadline = l.deadline
+	// Attribution profiling without the flight recorder: diagnose reads
+	// per-production null rates and chain depths from the snapshot.
+	cfg.Prof = &matchprof.Options{FlightCycles: -1}
 	return cfg
 }
 

@@ -1,0 +1,203 @@
+package matchprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"soarpsme/internal/obs"
+)
+
+// TaskDump is one executed task in a dumped cycle trace (prun.TaskRec with
+// the node kind rendered for humans and jq).
+type TaskDump struct {
+	Seq    int64  `json:"seq"`
+	Parent int64  `json:"parent,omitempty"`
+	Node   uint32 `json:"node"`
+	Kind   string `json:"kind"`
+	Cost   int64  `json:"costUS"`
+	Depth  int32  `json:"depth"`
+	Worker int32  `json:"worker"`
+}
+
+// CycleDump is one recorded cycle in a flight dump.
+type CycleDump struct {
+	Cycle     int64      `json:"cycle"`
+	DurUS     float64    `json:"durUS"`
+	Tasks     int        `json:"tasks"`
+	Workers   int        `json:"workers"`
+	Failed    bool       `json:"failed,omitempty"`
+	Recovered bool       `json:"recovered,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
+	Trace     []TaskDump `json:"trace,omitempty"`
+}
+
+// Dump is a flight-recorder dump: the retained cycles around an anomaly,
+// rendered both structurally (Cycles) and as Chrome trace events on a
+// modeled timeline (TraceEvents — per-task wall timestamps are too
+// expensive to record, so each worker lane replays its tasks back to back
+// at their modeled cost). The top-level JSON object is directly loadable in
+// chrome://tracing / Perfetto, which treat the extra keys as metadata.
+type Dump struct {
+	Reason    string      `json:"reason"`
+	Session   string      `json:"session,omitempty"`
+	TrippedAt string      `json:"trippedAt"`
+	Cycle     int64       `json:"cycle"`
+	Cycles    []CycleDump `json:"cycles"`
+	Events    []obs.Event `json:"traceEvents"`
+	Snapshot  *Snapshot   `json:"snapshot"`
+	// Path is where the dump was written ("" when FlightDir is unset).
+	Path string `json:"path,omitempty"`
+}
+
+// tripLocked assembles a dump from the ring (oldest first), publishes it as
+// the profile's last dump, and writes it to FlightDir when configured.
+// Callers hold p.mu; the snapshot harvest only reads atomics.
+func (p *Profile) tripLocked(reason string, cycle int64) *Dump {
+	d := &Dump{
+		Reason:    reason,
+		Session:   p.session,
+		TrippedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Cycle:     cycle,
+	}
+	for i := 0; i < p.ringN; i++ {
+		// ring[head] is the next slot to overwrite = the oldest entry once
+		// the ring has wrapped; before wrap the oldest is slot 0.
+		idx := (p.head + len(p.ring) - p.ringN + i) % len(p.ring)
+		d.Cycles = append(d.Cycles, cycleDump(p.ring[idx]))
+	}
+	d.Events = modelEvents(d.Cycles)
+	d.Snapshot = p.buildSnapshot(p.session, p.cycles)
+	p.mTrips.Inc()
+	if p.opts.FlightDir != "" {
+		p.dumpSeq++
+		name := fmt.Sprintf("matchflight-%s-%d.json", time.Now().UTC().Format("20060102T150405"), p.dumpSeq)
+		path := filepath.Join(p.opts.FlightDir, name)
+		if err := writeDump(path, d); err != nil {
+			p.mDumpErrs.Inc()
+		} else {
+			d.Path = path
+		}
+	}
+	p.lastDump = d
+	return d
+}
+
+// LastDump returns the most recent dump, nil if nothing has tripped.
+func (p *Profile) LastDump() *Dump {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastDump
+}
+
+func cycleDump(ev CycleEvent) CycleDump {
+	cd := CycleDump{
+		Cycle:     ev.Cycle,
+		DurUS:     float64(ev.Dur) / float64(time.Microsecond),
+		Tasks:     ev.Stats.Tasks,
+		Workers:   ev.Stats.Workers,
+		Failed:    ev.Stats.Failed,
+		Recovered: ev.Stats.Recovered,
+		Reason:    ev.Stats.Reason,
+	}
+	for _, tr := range ev.Stats.Trace {
+		cd.Trace = append(cd.Trace, TaskDump{
+			Seq:    tr.Seq,
+			Parent: tr.Parent,
+			Node:   uint32(tr.Node),
+			Kind:   tr.Kind.String(),
+			Cost:   tr.Cost,
+			Depth:  tr.Depth,
+			Worker: tr.Worker,
+		})
+	}
+	return cd
+}
+
+// modelEvents renders the recorded cycles on a modeled timeline: within a
+// cycle each worker lane (tid = worker+1) plays its tasks back to back at
+// their modeled µs cost; cycles are laid end to end with a separator gap,
+// and each gets a bracketing span on tid 0. Deterministic — the same ring
+// always renders the same trace.
+func modelEvents(cycles []CycleDump) []obs.Event {
+	var evs []obs.Event
+	var base float64
+	const gap = 100 // µs between cycles, purely visual
+	for _, c := range cycles {
+		laneEnd := map[int32]float64{}
+		var cycEnd float64
+		for _, t := range c.Trace {
+			ts := base + laneEnd[t.Worker]
+			dur := float64(t.Cost)
+			evs = append(evs, obs.Event{
+				Name: fmt.Sprintf("%s#%d", t.Kind, t.Node),
+				Cat:  "task",
+				Ph:   "X",
+				Ts:   ts,
+				Dur:  dur,
+				Pid:  0,
+				Tid:  int(t.Worker) + 1,
+				Args: map[string]any{"seq": t.Seq, "parent": t.Parent, "depth": t.Depth, "cycle": c.Cycle},
+			})
+			laneEnd[t.Worker] += dur
+			if laneEnd[t.Worker] > cycEnd {
+				cycEnd = laneEnd[t.Worker]
+			}
+		}
+		name := fmt.Sprintf("cycle %d", c.Cycle)
+		args := map[string]any{"tasks": c.Tasks, "workers": c.Workers, "wall-us": c.DurUS}
+		if c.Reason != "" {
+			args["reason"] = c.Reason
+			name += " [" + c.Reason + "]"
+		}
+		evs = append(evs, obs.Event{Name: name, Cat: "cycle", Ph: "X", Ts: base, Dur: cycEnd, Pid: 0, Tid: 0, Args: args})
+		base += cycEnd + gap
+	}
+	return evs
+}
+
+func writeDump(path string, d *Dump) error {
+	b, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadDump loads a dump file written by the flight recorder (psmestat's
+// offline mode).
+func ReadDump(path string) (*Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("matchprof: %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// RingStats reports the flight ring's occupancy and the summed retained
+// trace lengths (tests use it to verify wraparound retention).
+func (p *Profile) RingStats() (cycles, tasks int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < p.ringN; i++ {
+		idx := (p.head + len(p.ring) - p.ringN + i) % len(p.ring)
+		tasks += len(p.ring[idx].Stats.Trace)
+	}
+	return p.ringN, tasks
+}

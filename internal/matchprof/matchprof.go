@@ -1,0 +1,473 @@
+// Package matchprof is the match profiling subsystem: always-cheap
+// per-node cost attribution (collected by rete/prun while matching) rolled
+// up at harvest time into ranked per-production tables, chain-depth and
+// task-granularity histograms — the paper's Figure 6 inputs, live — plus an
+// anomaly flight recorder that keeps the last N cycles' task traces and
+// dumps them when a cycle fails, recovers, or breaches the latency SLO.
+//
+// Layering: rete owns the hot-path counters (rete.Prof); this package owns
+// interpretation — production attribution, snapshots, the flight recorder,
+// SLO tracking — and the serving layer exposes it at /debug/match.
+package matchprof
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"soarpsme/internal/obs"
+	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
+)
+
+// Options configure a Profile.
+type Options struct {
+	// SampleEvery wall-clock samples one task in N per worker (rounded down
+	// to a power of two; 0 means 64). Sampling estimates real task latency
+	// without two clock reads per task.
+	SampleEvery int
+	// FlightCycles is the flight-recorder ring size: the last N cycles'
+	// full task traces are retained for anomaly dumps. 0 means 16; negative
+	// disables the recorder (and the runtime's trace capture with it).
+	FlightCycles int
+	// FlightDir, when non-empty, is where anomaly dumps are written as
+	// matchflight-*.json files. Empty keeps dumps in memory only (still
+	// served at /debug/match/flight).
+	FlightDir string
+	// SLO, when nonzero, is the p99 cycle-latency objective: when the p99
+	// over the rolling window exceeds it, the flight recorder trips.
+	SLO time.Duration
+	// SLOWindow is the rolling latency window in cycles (0 means 128; the
+	// p99 check needs at least 32 observations).
+	SLOWindow int
+	// Cooldown is the minimum number of cycles between SLO-triggered trips,
+	// so a sustained breach produces one dump, not a dump storm (0 means
+	// one window). Hard-failure trips (panic, watchdog, serial fallback)
+	// ignore it — each failed cycle is its own evidence.
+	Cooldown int
+}
+
+// CycleEvent is what the engine reports at the end of every match cycle.
+type CycleEvent struct {
+	// Cycle is the engine's cycle index (position in its CycleStats log).
+	Cycle int64
+	// Dur is the cycle's wall-clock duration.
+	Dur time.Duration
+	// Stats is the runtime's cycle summary; Stats.Trace (captured when the
+	// flight recorder is on) is retained by the ring until overwritten.
+	Stats prun.CycleStats
+}
+
+// Profile is one engine's match profiler: the bridge between the hot-path
+// counters in rete.Prof and everything that reads them.
+type Profile struct {
+	nw   *rete.Network
+	np   *rete.Prof
+	opts Options
+
+	// Pre-resolved metrics (nil-safe when no observer is attached).
+	mDepth    *obs.Histogram
+	mTrips    *obs.Counter
+	mSLO      *obs.Counter
+	mDumpErrs *obs.Counter
+
+	mu        sync.Mutex
+	session   string
+	cycles    int64
+	ring      []CycleEvent // flight ring, ring[head] is the oldest slot
+	head      int
+	ringN     int // number of valid entries
+	window    []time.Duration // rolling cycle latencies for the SLO check
+	wHead     int
+	wN        int
+	lastTrip  int64 // cycle index of the last SLO trip (cooldown)
+	sloArmed  bool
+	lastDump  *Dump
+	dumpSeq   int64
+}
+
+// New builds a Profile for nw and installs its hot-path counters on the
+// network. Must be called before any cycle runs. o may be nil.
+func New(nw *rete.Network, opts Options, o *obs.Observer) *Profile {
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 64
+	}
+	if opts.FlightCycles == 0 {
+		opts.FlightCycles = 16
+	}
+	if opts.SLOWindow <= 0 {
+		opts.SLOWindow = 128
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = opts.SLOWindow
+	}
+	np := rete.NewProf(int(nw.MaxNodeID())+1, opts.SampleEvery)
+	nw.Prof = np
+	p := &Profile{
+		nw:       nw,
+		np:       np,
+		opts:     opts,
+		sloArmed: opts.SLO > 0,
+	}
+	if opts.FlightCycles > 0 {
+		p.ring = make([]CycleEvent, opts.FlightCycles)
+	}
+	p.window = make([]time.Duration, opts.SLOWindow)
+	if o != nil {
+		p.mDepth = o.Histogram("match_cycle_chain_depth", obs.ExpBuckets(1, 2, 8)...)
+		p.mTrips = o.Counter("match_flight_trips_total")
+		p.mSLO = o.Counter("match_slo_breaches_total")
+		p.mDumpErrs = o.Counter("match_flight_dump_errors_total")
+	}
+	return p
+}
+
+// FlightEnabled reports whether the flight recorder retains cycle traces —
+// the engine forces runtime trace capture when it does.
+func (p *Profile) FlightEnabled() bool { return p != nil && p.ring != nil }
+
+// SetSession labels the profile's snapshots and dumps (the serving layer
+// sets the session ID; CLIs leave it empty).
+func (p *Profile) SetSession(s string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.session = s
+	p.mu.Unlock()
+}
+
+// EndCycle ingests one finished cycle: records it in the flight ring,
+// observes the cycle's chain depth, advances the SLO window, and trips the
+// flight recorder on any anomaly — a failed cycle (watchdog or panic), a
+// serial-fallback recovery, or a p99 SLO breach. It returns the dump when
+// a trip fired, nil otherwise.
+func (p *Profile) EndCycle(ev CycleEvent) *Dump {
+	if p == nil {
+		return nil
+	}
+	if d := p.np.TakeCycleDepth(); d > 0 {
+		p.mDepth.Observe(float64(d))
+	}
+	p.mu.Lock()
+	p.cycles++
+	if p.ring != nil {
+		p.ring[p.head] = ev
+		p.head = (p.head + 1) % len(p.ring)
+		if p.ringN < len(p.ring) {
+			p.ringN++
+		}
+	}
+	p.window[p.wHead] = ev.Dur
+	p.wHead = (p.wHead + 1) % len(p.window)
+	if p.wN < len(p.window) {
+		p.wN++
+	}
+	var reason string
+	switch {
+	case ev.Stats.Failed:
+		reason = "cycle failed: " + ev.Stats.Reason
+	case ev.Stats.Recovered:
+		reason = "serial fallback: " + ev.Stats.Reason
+	case ev.Stats.Panics > 0:
+		reason = "worker panic recovered: " + ev.Stats.Reason
+	case p.sloArmed && p.wN >= 32 && p.cycles-p.lastTrip >= int64(p.opts.Cooldown):
+		if p99 := p.p99Locked(); p99 > p.opts.SLO {
+			reason = "slo breach: p99 " + p99.String() + " > " + p.opts.SLO.String()
+			p.lastTrip = p.cycles
+			p.mSLO.Inc()
+		}
+	}
+	if reason == "" {
+		p.mu.Unlock()
+		return nil
+	}
+	d := p.tripLocked(reason, ev.Cycle)
+	p.mu.Unlock()
+	return d
+}
+
+// Trip forces a flight-recorder dump with the given reason (the CLIs use it
+// for on-demand dumps; anomalies go through EndCycle).
+func (p *Profile) Trip(reason string) *Dump {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tripLocked(reason, p.cycles-1)
+}
+
+// p99Locked computes the 99th percentile of the rolling latency window.
+func (p *Profile) p99Locked() time.Duration {
+	tmp := make([]time.Duration, p.wN)
+	copy(tmp, p.window[:p.wN])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := (len(tmp)*99 + 99) / 100
+	if i > len(tmp) {
+		i = len(tmp)
+	}
+	return tmp[i-1]
+}
+
+// Cycles returns the number of cycles ingested.
+func (p *Profile) Cycles() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cycles
+}
+
+// ---- snapshots ----
+
+// Totals sums attribution counters over a set of nodes.
+type Totals struct {
+	Acts     int64 `json:"acts"`
+	Emitted  int64 `json:"emitted"`
+	Nulls    int64 `json:"nulls"`
+	Cost     int64 `json:"costUS"`
+	SampleNS int64 `json:"sampleNS"`
+	Samples  int64 `json:"samples"`
+}
+
+func (t *Totals) add(c rete.ProfCellSnap) {
+	t.Acts += c.Acts
+	t.Emitted += c.Emitted
+	t.Nulls += c.Nulls
+	t.Cost += c.Cost
+	t.SampleNS += c.SampleNS
+	t.Samples += c.Samples
+}
+
+func (t *Totals) addTotals(o Totals) {
+	t.Acts += o.Acts
+	t.Emitted += o.Emitted
+	t.Nulls += o.Nulls
+	t.Cost += o.Cost
+	t.SampleNS += o.SampleNS
+	t.Samples += o.Samples
+}
+
+// NullRate is the fraction of activations that emitted nothing.
+func (t Totals) NullRate() float64 {
+	if t.Acts == 0 {
+		return 0
+	}
+	return float64(t.Nulls) / float64(t.Acts)
+}
+
+// ProdCost is one production's attributed match cost.
+type ProdCost struct {
+	Name string `json:"name"`
+	// ChainDepth is the production's static beta-chain length (two-input
+	// nodes from the top of the network to its P node) — the upper bound on
+	// the dependent activation chains the production can generate.
+	ChainDepth int `json:"chainDepth"`
+	// Nodes is the number of beta nodes attributed to the production. A
+	// node shared with an earlier production is attributed to that earlier
+	// one (first-owner-wins, matching the diagnose tool), so shared-prefix
+	// cost is never double counted.
+	Nodes  int `json:"nodes"`
+	Totals Totals `json:"totals"`
+	// NullRate and CostShare are derived: null activations over activations,
+	// and this production's share of all attributed modeled cost.
+	NullRate  float64 `json:"nullRate"`
+	CostShare float64 `json:"costShare"`
+	// MeanTaskNS estimates the production's real mean task latency from the
+	// wall-clock samples (0 when nothing was sampled).
+	MeanTaskNS float64 `json:"meanTaskNS"`
+}
+
+// Snapshot is a point-in-time harvest of the profile: ranked hot
+// productions, global histograms, and totals. Safe to take while cycles
+// run — counters are read atomically, so a snapshot is consistent per
+// counter, not across counters.
+type Snapshot struct {
+	Session string `json:"session,omitempty"`
+	Taken   string `json:"taken"`
+	Cycles  int64  `json:"cycles"`
+	Nodes   int    `json:"nodes"`
+
+	Totals   Totals  `json:"totals"`
+	NullRate float64 `json:"nullRate"`
+
+	// Productions is ranked by attributed modeled cost, descending.
+	Productions []ProdCost `json:"productions"`
+	// Unattributed sums nodes no production spine claims (e.g. NCC partner
+	// sub-chains); kept separate so CostShare still sums to ~1.
+	Unattributed Totals `json:"unattributed"`
+
+	// DepthHist bucket i counts tasks at chain depth i+1 (last bucket:
+	// deeper). CostHist bucket i counts tasks with modeled cost in
+	// [2^i, 2^(i+1)) µs — the task-granularity distribution.
+	DepthHist []int64 `json:"depthHist"`
+	CostHist  []int64 `json:"costHist"`
+}
+
+// Snapshot harvests the profile. Concurrency-safe; called by the HTTP
+// debug endpoints while match cycles run.
+func (p *Profile) Snapshot() *Snapshot {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	session := p.session
+	cycles := p.cycles
+	p.mu.Unlock()
+	return p.buildSnapshot(session, cycles)
+}
+
+// buildSnapshot does the harvest without touching p.mu (the counters it
+// reads are atomics and the network's production list takes its own lock),
+// so tripLocked can call it while holding the mutex.
+func (p *Profile) buildSnapshot(session string, cycles int64) *Snapshot {
+	cells := p.np.Cells()
+	depth := p.np.DepthHist()
+	cost := p.np.CostHist()
+
+	s := &Snapshot{
+		Session:   session,
+		Taken:     time.Now().UTC().Format(time.RFC3339Nano),
+		Cycles:    cycles,
+		Nodes:     len(cells),
+		DepthHist: depth[:],
+		CostHist:  cost[:],
+	}
+
+	// Attribute each node's cell to the first production whose beta spine
+	// contains it (definition order, matching the diagnose tool's owner
+	// map); walk each P node up through its parents.
+	prods := p.nw.Productions()
+	type ownedProd struct {
+		pc    ProdCost
+		nodes []rete.NodeID
+	}
+	owner := make(map[rete.NodeID]int, len(cells))
+	owned := make([]ownedProd, 0, len(prods))
+	for _, pr := range prods {
+		if pr.PNode == nil {
+			continue
+		}
+		op := ownedProd{pc: ProdCost{Name: pr.Name}}
+		for n := pr.PNode; n != nil; n = n.Parent {
+			if n.Kind != rete.KindP {
+				op.pc.ChainDepth++
+			}
+			if _, taken := owner[n.ID]; !taken {
+				owner[n.ID] = len(owned)
+				op.nodes = append(op.nodes, n.ID)
+			}
+		}
+		owned = append(owned, op)
+	}
+	claimed := make([]bool, len(cells))
+	for i := range owned {
+		op := &owned[i]
+		op.pc.Nodes = len(op.nodes)
+		for _, id := range op.nodes {
+			if int(id) < len(cells) {
+				op.pc.Totals.add(cells[id])
+				claimed[id] = true
+			}
+		}
+	}
+	for id := range cells {
+		c := cells[id]
+		s.Totals.add(c)
+		if !claimed[id] {
+			s.Unattributed.add(c)
+		}
+	}
+	s.NullRate = s.Totals.NullRate()
+	for i := range owned {
+		pc := owned[i].pc
+		if pc.Totals.Acts == 0 && pc.Totals.Cost == 0 {
+			continue
+		}
+		pc.NullRate = pc.Totals.NullRate()
+		if s.Totals.Cost > 0 {
+			pc.CostShare = float64(pc.Totals.Cost) / float64(s.Totals.Cost)
+		}
+		if pc.Totals.Samples > 0 {
+			pc.MeanTaskNS = float64(pc.Totals.SampleNS) / float64(pc.Totals.Samples)
+		}
+		s.Productions = append(s.Productions, pc)
+	}
+	sort.Slice(s.Productions, func(i, j int) bool {
+		a, b := s.Productions[i], s.Productions[j]
+		if a.Totals.Cost != b.Totals.Cost {
+			return a.Totals.Cost > b.Totals.Cost
+		}
+		return a.Name < b.Name
+	})
+	return s
+}
+
+// Merge folds several snapshots (one per session) into an aggregate view:
+// totals and histograms sum, productions sum by name and re-rank.
+func Merge(snaps []*Snapshot) *Snapshot {
+	out := &Snapshot{
+		Session:   "aggregate",
+		Taken:     time.Now().UTC().Format(time.RFC3339Nano),
+		DepthHist: make([]int64, rete.DepthBuckets),
+		CostHist:  make([]int64, rete.CostBuckets),
+	}
+	byName := map[string]*ProdCost{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		out.Cycles += s.Cycles
+		if s.Nodes > out.Nodes {
+			out.Nodes = s.Nodes
+		}
+		out.Totals.addTotals(s.Totals)
+		out.Unattributed.addTotals(s.Unattributed)
+		for i, v := range s.DepthHist {
+			if i < len(out.DepthHist) {
+				out.DepthHist[i] += v
+			}
+		}
+		for i, v := range s.CostHist {
+			if i < len(out.CostHist) {
+				out.CostHist[i] += v
+			}
+		}
+		for _, pc := range s.Productions {
+			agg := byName[pc.Name]
+			if agg == nil {
+				cp := pc
+				byName[pc.Name] = &cp
+				continue
+			}
+			agg.Totals.addTotals(pc.Totals)
+			if pc.ChainDepth > agg.ChainDepth {
+				agg.ChainDepth = pc.ChainDepth
+			}
+			if pc.Nodes > agg.Nodes {
+				agg.Nodes = pc.Nodes
+			}
+		}
+	}
+	out.NullRate = out.Totals.NullRate()
+	for _, pc := range byName {
+		pc.NullRate = pc.Totals.NullRate()
+		if out.Totals.Cost > 0 {
+			pc.CostShare = float64(pc.Totals.Cost) / float64(out.Totals.Cost)
+		}
+		if pc.Totals.Samples > 0 {
+			pc.MeanTaskNS = float64(pc.Totals.SampleNS) / float64(pc.Totals.Samples)
+		}
+		out.Productions = append(out.Productions, *pc)
+	}
+	sort.Slice(out.Productions, func(i, j int) bool {
+		a, b := out.Productions[i], out.Productions[j]
+		if a.Totals.Cost != b.Totals.Cost {
+			return a.Totals.Cost > b.Totals.Cost
+		}
+		return a.Name < b.Name
+	})
+	return out
+}

@@ -1,0 +1,263 @@
+package matchprof_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/matchprof"
+	"soarpsme/internal/obs"
+	"soarpsme/internal/serve"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// driveCypress runs a profiled engine through the cypress workload exactly
+// as a served session would (chunking on), returning the engine.
+func driveCypress(t *testing.T, procs, cycles int, opts *matchprof.Options) (*engine.Engine, []string) {
+	t.Helper()
+	sys := cypress.Generate(cypress.DefaultParams())
+	ec := engine.DefaultConfig()
+	ec.Processes = procs
+	ec.Prof = opts
+	e := engine.New(ec)
+	if err := e.LoadProgram(sys.Source); err != nil {
+		t.Fatal(err)
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+	var fps []string
+	next := 0
+	for cyc := 0; cyc < cycles; cyc++ {
+		e.ApplyAndMatch(drv.Batch())
+		for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
+			ast, err := sys.ParseChunk(next, e.Tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.AddProductionRuntime(ast); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		fps = append(fps, serve.Fingerprint(e))
+	}
+	return e, fps
+}
+
+// Profiling must not perturb match results: the per-cycle conflict-set
+// fingerprints of profiled runs at 1, 4, and 13 processes are byte-identical
+// to the unprofiled solo serial reference.
+func TestConformanceWithProfiling(t *testing.T) {
+	const cycles = 40
+	want, err := serve.SoloFingerprints(cypress.DefaultParams(), cycles, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4, 13} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			// Aggressive sampling so the sampled path itself is exercised.
+			e, got := driveCypress(t, procs, cycles, &matchprof.Options{SampleEvery: 2})
+			for cyc := range want {
+				if got[cyc] != want[cyc] {
+					t.Fatalf("procs=%d cycle %d: fingerprint diverged with profiling on\n got %q\nwant %q",
+						procs, cyc, got[cyc], want[cyc])
+				}
+			}
+			snap := e.Prof.Snapshot()
+			if snap.Totals.Acts == 0 {
+				t.Fatal("profiling collected no activations")
+			}
+			if len(snap.Productions) == 0 {
+				t.Fatal("no productions attributed")
+			}
+		})
+	}
+}
+
+// The flight ring must retain exactly the last FlightCycles cycles after
+// wrapping, oldest first, each with its full task trace.
+func TestFlightRingWraparound(t *testing.T) {
+	const ringSize, cycles = 4, 10
+	e, _ := driveCypress(t, 2, cycles, &matchprof.Options{FlightCycles: ringSize})
+	gotCycles, gotTasks := e.Prof.RingStats()
+	if gotCycles != ringSize {
+		t.Fatalf("ring holds %d cycles, want %d", gotCycles, ringSize)
+	}
+	wantTasks := 0
+	for _, cs := range e.CycleStats[cycles-ringSize:] {
+		wantTasks += cs.Tasks
+	}
+	if gotTasks != wantTasks {
+		t.Fatalf("ring retains %d trace tasks, want %d (last %d cycles)", gotTasks, wantTasks, ringSize)
+	}
+
+	d := e.Prof.Trip("test trip")
+	if d == nil || len(d.Cycles) != ringSize {
+		t.Fatalf("dump has %d cycles, want %d", len(d.Cycles), ringSize)
+	}
+	for i, cd := range d.Cycles {
+		if want := int64(cycles - ringSize + i); cd.Cycle != want {
+			t.Fatalf("dump cycle %d is engine cycle %d, want %d (oldest-first ordering)", i, cd.Cycle, want)
+		}
+		if len(cd.Trace) != cd.Tasks {
+			t.Fatalf("dump cycle %d: %d trace entries for %d tasks", i, len(cd.Trace), cd.Tasks)
+		}
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("dump has no modeled trace events")
+	}
+	if e.Prof.LastDump() != d {
+		t.Fatal("LastDump does not return the trip's dump")
+	}
+}
+
+// A dump written to disk must read back equivalent to the in-memory one.
+func TestDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := driveCypress(t, 2, 6, &matchprof.Options{FlightCycles: 4, FlightDir: dir})
+	d := e.Prof.Trip("round trip")
+	if d.Path == "" {
+		t.Fatal("dump was not written to FlightDir")
+	}
+	rd, err := matchprof.ReadDump(d.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Reason != d.Reason || len(rd.Cycles) != len(d.Cycles) || len(rd.Events) != len(d.Events) {
+		t.Fatalf("reread dump differs: reason %q/%q, cycles %d/%d, events %d/%d",
+			rd.Reason, d.Reason, len(rd.Cycles), len(d.Cycles), len(rd.Events), len(d.Events))
+	}
+	if rd.Snapshot == nil || rd.Snapshot.Totals.Acts != d.Snapshot.Totals.Acts {
+		t.Fatal("reread snapshot totals differ")
+	}
+}
+
+// Harvesting must be safe while cycles run: goroutines hammer Snapshot,
+// RingStats, and LastDump against a live engine. Run with -race.
+func TestConcurrentHarvest(t *testing.T) {
+	sys := cypress.Generate(cypress.DefaultParams())
+	ec := engine.DefaultConfig()
+	ec.Processes = 4
+	ec.Prof = &matchprof.Options{SampleEvery: 2, FlightCycles: 8}
+	e := engine.New(ec)
+	if err := e.LoadProgram(sys.Source); err != nil {
+		t.Fatal(err)
+	}
+	drv := cypress.NewDriver(sys, e.Tab, e.WM)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := e.Prof.Snapshot()
+				if snap == nil {
+					t.Error("nil snapshot")
+					return
+				}
+				e.Prof.RingStats()
+				e.Prof.LastDump()
+			}
+		}()
+	}
+	next := 0
+	for cyc := 0; cyc < 60; cyc++ {
+		e.ApplyAndMatch(drv.Batch())
+		for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
+			ast, err := sys.ParseChunk(next, e.Tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.AddProductionRuntime(ast); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	close(done)
+	wg.Wait()
+	if acts := e.Prof.Snapshot().Totals.Acts; acts == 0 {
+		t.Fatal("no activations recorded")
+	}
+}
+
+// Scraping /debug/match while served sessions run cycles must be race-free
+// and always return valid JSON with per-session and aggregate snapshots.
+func TestServeDebugMatchConcurrent(t *testing.T) {
+	srv := serve.New(serve.Config{Processes: 2, QueueDepth: 8, MaxSessions: 8, Obs: obs.New()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	resp, err := http.Post(ts.URL+"/sessions", "application/json",
+		strings.NewReader(`{"task":"cypress","cycles":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r, err := http.Get(ts.URL + "/debug/match")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out struct {
+					Sessions  []*matchprof.Snapshot `json:"sessions"`
+					Aggregate *matchprof.Snapshot   `json:"aggregate"`
+				}
+				err = json.NewDecoder(r.Body).Decode(&out)
+				r.Body.Close()
+				if err != nil {
+					t.Errorf("bad /debug/match JSON: %v", err)
+					return
+				}
+				if out.Aggregate == nil || len(out.Sessions) == 0 {
+					t.Error("missing aggregate or sessions in /debug/match")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		r, err := http.Post(ts.URL+"/sessions/"+created.ID+"/run", "application/json",
+			strings.NewReader(`{"cycles":5,"chunking":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("run: HTTP %d", r.StatusCode)
+		}
+		r.Body.Close()
+	}
+	close(done)
+	wg.Wait()
+}

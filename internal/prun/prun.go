@@ -159,6 +159,8 @@ type TaskRec struct {
 	Node   rete.NodeID
 	Kind   rete.BetaKind
 	Cost   int64
+	Depth  int32 // chain depth (roots are 1)
+	Worker int32 // match process that executed the task
 }
 
 // CycleStats summarizes one match cycle.
@@ -583,6 +585,27 @@ type worker struct {
 	local   []TaskRec
 	tasks   int64
 	cost    int64
+
+	// Profiling state (all nil/zero when the network has no profiler).
+	// Depth and granularity histograms accumulate locally and flush once at
+	// worker exit so the per-task path adds no histogram atomics; wall-clock
+	// sampling times one task in (sampleMask+1) per worker.
+	prof       *rete.Prof
+	sampleMask uint64
+	profD      [rete.DepthBuckets]int64
+	profC      [rete.CostBuckets]int64
+	profMax    int32
+}
+
+// newWorker builds one match process's per-cycle bookkeeping, wiring the
+// network's profiler when one is installed.
+func (rt *Runtime) newWorker(id int, ctl *cycleCtl, h *obs.MatchHooks) worker {
+	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
+	if p := rt.nw.Prof; p != nil {
+		w.prof = p
+		w.sampleMask = p.SampleMask()
+	}
+	return w
 }
 
 // probe consults the fault injector at site. An injected panic unwinds in
@@ -634,14 +657,26 @@ func (w *worker) recovered() {
 
 // exec runs one task and records its statistics and trace spans.
 func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
+	sampling := w.prof != nil && w.tasks&int64(w.sampleMask) == 0
 	var start time.Time
-	if w.tracing {
+	if w.tracing || sampling {
 		start = time.Now()
 	}
 	cost := w.rt.nw.Exec(t, s)
 	t.Cost = cost
 	w.tasks++
 	w.cost += cost
+	if w.prof != nil {
+		d := t.Depth + 1
+		w.profD[rete.DepthBucket(d)]++
+		w.profC[rete.CostBucket(cost)]++
+		if d > w.profMax {
+			w.profMax = d
+		}
+		if sampling {
+			w.prof.AddSample(t.Node.ID, time.Since(start).Nanoseconds())
+		}
+	}
 	if h := w.h; h != nil {
 		h.Tasks.Inc()
 		h.TaskCost.Observe(float64(cost))
@@ -654,7 +689,7 @@ func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
 		}
 	}
 	if w.rt.cfg.CaptureTrace {
-		w.local = append(w.local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
+		w.local = append(w.local, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost, Depth: t.Depth + 1, Worker: int32(w.id)})
 	}
 }
 
@@ -662,6 +697,9 @@ func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
 func (w *worker) flush(tasks, totalCost *atomic.Int64) {
 	tasks.Add(w.tasks)
 	totalCost.Add(w.cost)
+	if w.prof != nil && w.tasks > 0 {
+		w.prof.FlushCycleLocal(&w.profD, &w.profC, w.profMax)
+	}
 	if len(w.local) > 0 {
 		w.rt.traceMu.Lock()
 		w.rt.trace = append(w.rt.trace, w.local...)
@@ -760,8 +798,7 @@ func (rt *Runtime) runLockQueues(id int, wg *sync.WaitGroup, tasks, totalCost *a
 	// Box the scheduler into the interface once; converting per exec call
 	// would allocate on the hot path.
 	var mySched rete.Scheduler = sched{rt: rt, q: own}
-	h := rt.obs
-	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
+	w := rt.newWorker(id, ctl, rt.obs)
 	defer w.flush(tasks, totalCost)
 	defer w.recovered()
 	nq := len(rt.queues)
@@ -815,8 +852,7 @@ func (rt *Runtime) runWorkStealing(id int, wg *sync.WaitGroup, tasks, totalCost 
 	ctl := rt.ctl
 	own := rt.deques[id]
 	ws := &wsSched{rt: rt, d: own, free: rt.free[id]}
-	h := rt.obs
-	w := worker{rt: rt, id: id, h: h, ctl: ctl, tracing: h != nil && h.Trc != nil}
+	w := rt.newWorker(id, ctl, rt.obs)
 	defer w.flush(tasks, totalCost)
 	// The free list is persisted on every exit path, including a panic:
 	// drainPoisoned then abandons all lists, so a task that was in flight
@@ -895,6 +931,9 @@ func (rt *Runtime) ReplaySerial(all []*wme.WME) CycleStats {
 	s := &serialSched{rt: rt}
 	cs := CycleStats{Recovered: true, Workers: 1}
 	h := rt.obs
+	// The replay profiles like a one-worker cycle so recovered cycles still
+	// contribute attribution, depth, and granularity data.
+	pw := rt.newWorker(0, rt.ctl, nil)
 	for _, w := range all {
 		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
@@ -908,17 +947,37 @@ func (rt *Runtime) ReplaySerial(all []*wme.WME) CycleStats {
 		for len(s.stack) > 0 {
 			t := s.stack[len(s.stack)-1]
 			s.stack = s.stack[:len(s.stack)-1]
+			sampling := pw.prof != nil && pw.tasks&int64(pw.sampleMask) == 0
+			var start time.Time
+			if sampling {
+				start = time.Now()
+			}
 			cost := rt.nw.Exec(t, s)
 			cs.Tasks++
 			cs.TotalCost += cost
+			if pw.prof != nil {
+				d := t.Depth + 1
+				pw.profD[rete.DepthBucket(d)]++
+				pw.profC[rete.CostBucket(cost)]++
+				if d > pw.profMax {
+					pw.profMax = d
+				}
+				pw.tasks++
+				if sampling {
+					pw.prof.AddSample(t.Node.ID, time.Since(start).Nanoseconds())
+				}
+			}
 			if h != nil {
 				h.Tasks.Inc()
 				h.TaskCost.Observe(float64(cost))
 			}
 			if rt.cfg.CaptureTrace {
-				cs.Trace = append(cs.Trace, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost})
+				cs.Trace = append(cs.Trace, TaskRec{Seq: t.Seq, Parent: t.ParentSeq, Node: t.Node.ID, Kind: t.Node.Kind, Cost: cost, Depth: t.Depth + 1})
 			}
 		}
+	}
+	if pw.prof != nil && pw.tasks > 0 {
+		pw.prof.FlushCycleLocal(&pw.profD, &pw.profC, pw.profMax)
 	}
 	return cs
 }

@@ -92,6 +92,7 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 	// Size the unlink counters for the new node IDs while still quiescent
 	// (match workers read them with atomics and never reallocate).
 	nw.Mem.GrowCounts(int(nw.nextID) + 1)
+	nw.Prof.Grow(int(nw.nextID) + 1)
 	b.info.SpliceTime = time.Since(start)
 	return prod, b.info, nil
 }

@@ -36,6 +36,10 @@ type Task struct {
 	Seq       int64
 	ParentSeq int64
 	Cost      int64
+	// Depth is the task's position in its dependent activation chain:
+	// injection roots are 0, each emitted child is parent+1. The profiler
+	// reports chain depth as Depth+1 (so a root counts as depth 1).
+	Depth int32
 }
 
 func (t *Task) String() string {
@@ -88,6 +92,7 @@ type emitter struct {
 	src       TaskSource
 	flt       ActivationFilter
 	parentSeq int64
+	depth     int32 // chain depth of the emitting task; children get depth+1
 	emitted   int
 	cost      int64
 }
@@ -117,11 +122,11 @@ func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
 			if ct == nil {
 				continue
 			}
-			*ct = Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq}
+			*ct = Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq, Depth: em.depth + 1}
 			em.s.Push(ct)
 			continue
 		}
-		em.s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq})
+		em.s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq, Depth: em.depth + 1})
 	}
 }
 
@@ -197,7 +202,7 @@ func (nw *Network) Exec(t *Task, s Scheduler) int64 {
 	nw.Stats.Activations.Add(1)
 	src, _ := s.(TaskSource)
 	flt, _ := s.(ActivationFilter)
-	em := emitter{nw: nw, s: s, src: src, flt: flt, parentSeq: t.Seq}
+	em := emitter{nw: nw, s: s, src: src, flt: flt, parentSeq: t.Seq, depth: t.Depth}
 	var cost int64 = CostBetaBase
 
 	n := t.Node
@@ -227,6 +232,9 @@ func (nw *Network) Exec(t *Task, s Scheduler) int64 {
 	nw.Stats.TokensEmitted.Add(int64(em.emitted))
 	if em.emitted == 0 {
 		nw.Stats.NullActs.Add(1)
+	}
+	if p := nw.Prof; p != nil {
+		p.record(n.ID, int64(em.emitted), cost)
 	}
 	return cost
 }

@@ -90,6 +90,11 @@ type Network struct {
 
 	Stats NetStats
 
+	// Prof, when non-nil, receives per-node match-cost attribution from
+	// Exec. Installed once before any cycle runs (engine setup) and never
+	// replaced, so the hot path reads it as a plain field.
+	Prof *Prof
+
 	mu        sync.Mutex // guards construction state below
 	nextID    NodeID
 	roots     map[value.Sym]*AlphaNode // class -> test tree root
@@ -284,6 +289,7 @@ func (nw *Network) ResetMatchState() {
 	// right (no live entries); size them for the existing nodes so the
 	// replay can maintain them without reallocation.
 	nw.Mem.GrowCounts(int(nw.MaxNodeID()) + 1)
+	nw.Prof.Grow(int(nw.MaxNodeID()) + 1)
 }
 
 // WalkBeta visits every beta node reachable from the top, once.

@@ -1,0 +1,242 @@
+package rete
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// ProfCell is the per-node attribution record of the match profiler: every
+// counter a task execution touches lives in the cell indexed by the task's
+// destination node, so cost can later be rolled up chain-by-chain into
+// per-production totals (the paper's per-production task counts, live).
+// All fields are atomics — cells are updated by every match worker at once.
+type ProfCell struct {
+	// Acts counts executed activations of the node (scheduled tasks; the
+	// unlink fast path's inline executions land in NetStats.NullSuppressed,
+	// not here, mirroring the Activations counter).
+	Acts atomic.Int64
+	// Emitted counts tokens the node's activations emitted.
+	Emitted atomic.Int64
+	// Nulls counts activations that emitted nothing — the null-activation
+	// measure of §2.2, attributed to its node.
+	Nulls atomic.Int64
+	// Cost sums the modeled task cost (simulated µs, the Table 6-1 scale).
+	Cost atomic.Int64
+	// SampleNS sums sampled wall-clock task time; Samples counts the tasks
+	// sampled (1-in-SampleEvery), so SampleNS/Samples estimates the node's
+	// real mean task latency without two clock reads on every task.
+	SampleNS atomic.Int64
+	Samples  atomic.Int64
+}
+
+// Histogram geometry. Depth buckets are linear (chain depth 1..DepthBuckets,
+// last bucket = "deeper"); cost buckets are log2 of the modeled µs cost —
+// the paper's task-granularity axis (Fig 6-5 bins task sizes the same way).
+const (
+	DepthBuckets = 32
+	CostBuckets  = 20
+)
+
+// DepthBucket maps a chain depth (1-based) to its histogram bucket.
+func DepthBucket(d int32) int {
+	if d < 1 {
+		d = 1
+	}
+	if d > DepthBuckets {
+		d = DepthBuckets
+	}
+	return int(d - 1)
+}
+
+// CostBucket maps a modeled task cost to its log2 histogram bucket.
+func CostBucket(cost int64) int {
+	if cost < 1 {
+		cost = 1
+	}
+	b := bits.Len64(uint64(cost)) - 1
+	if b >= CostBuckets {
+		b = CostBuckets - 1
+	}
+	return b
+}
+
+// Prof is the always-cheap match profiler state attached to a Network:
+// per-node attribution cells plus global chain-depth and task-granularity
+// histograms. The hot path (Exec) does four uncontended atomic adds per
+// task into the task's node cell; depth/granularity histogramming and
+// wall-clock sampling are batched per worker by the runtime and flushed at
+// cycle end. Growth swaps the cell slice through an atomic pointer so
+// /debug/match scrapes may read concurrently with chunking's node
+// additions.
+type Prof struct {
+	cells      atomic.Pointer[[]ProfCell]
+	depthH     [DepthBuckets]atomic.Int64
+	costH      [CostBuckets]atomic.Int64
+	cycleDepth atomic.Int32 // max chain depth seen since TakeCycleDepth
+	sampleMask uint64       // sample 1 task in (mask+1)
+}
+
+// NewProf returns a profiler sized for n nodes, wall-sampling one task in
+// sampleEvery (rounded down to a power of two; 0 = 64).
+func NewProf(n, sampleEvery int) *Prof {
+	if sampleEvery <= 0 {
+		sampleEvery = 64
+	}
+	// Round down to a power of two so the hot path masks instead of mods.
+	mask := uint64(1)<<uint(bits.Len(uint(sampleEvery))-1) - 1
+	p := &Prof{sampleMask: mask}
+	cells := make([]ProfCell, n)
+	p.cells.Store(&cells)
+	return p
+}
+
+// Grow ensures cells exist for node IDs below n. Counter values are carried
+// over with atomic loads/stores; callers must be at quiescence for the
+// carried values to be exact (AddProduction holds the network mutex with no
+// activation in flight), but concurrent readers are always safe — they keep
+// the slice their Load returned.
+func (p *Prof) Grow(n int) {
+	if p == nil {
+		return
+	}
+	old := *p.cells.Load()
+	if n <= len(old) {
+		return
+	}
+	size := 2 * len(old)
+	if size < n {
+		size = n
+	}
+	cells := make([]ProfCell, size)
+	for i := range old {
+		cells[i].Acts.Store(old[i].Acts.Load())
+		cells[i].Emitted.Store(old[i].Emitted.Load())
+		cells[i].Nulls.Store(old[i].Nulls.Load())
+		cells[i].Cost.Store(old[i].Cost.Load())
+		cells[i].SampleNS.Store(old[i].SampleNS.Load())
+		cells[i].Samples.Store(old[i].Samples.Load())
+	}
+	p.cells.Store(&cells)
+}
+
+// SampleMask returns the wall-clock sampling mask: a worker samples the
+// tasks whose per-worker ordinal ANDs to zero.
+func (p *Prof) SampleMask() uint64 { return p.sampleMask }
+
+// record is Exec's per-task attribution: four atomic adds into the node's
+// cell (three when the task emitted).
+func (p *Prof) record(id NodeID, emitted, cost int64) {
+	cells := *p.cells.Load()
+	if int(id) >= len(cells) {
+		return
+	}
+	c := &cells[id]
+	c.Acts.Add(1)
+	c.Cost.Add(cost)
+	if emitted == 0 {
+		c.Nulls.Add(1)
+	} else {
+		c.Emitted.Add(emitted)
+	}
+}
+
+// AddSample attributes one sampled wall-clock task duration to a node.
+func (p *Prof) AddSample(id NodeID, ns int64) {
+	cells := *p.cells.Load()
+	if int(id) >= len(cells) {
+		return
+	}
+	cells[id].SampleNS.Add(ns)
+	cells[id].Samples.Add(1)
+}
+
+// FlushCycleLocal folds one worker's cycle-local depth/granularity
+// histograms and max chain depth into the shared profile (once per worker
+// per cycle, so the per-task path stays free of histogram atomics).
+func (p *Prof) FlushCycleLocal(depth *[DepthBuckets]int64, cost *[CostBuckets]int64, maxDepth int32) {
+	if p == nil {
+		return
+	}
+	for i, v := range depth {
+		if v != 0 {
+			p.depthH[i].Add(v)
+		}
+	}
+	for i, v := range cost {
+		if v != 0 {
+			p.costH[i].Add(v)
+		}
+	}
+	for {
+		cur := p.cycleDepth.Load()
+		if maxDepth <= cur || p.cycleDepth.CompareAndSwap(cur, maxDepth) {
+			return
+		}
+	}
+}
+
+// TakeCycleDepth returns the maximum chain depth observed since the last
+// call and resets it — the per-cycle "longest dependent chain" series.
+func (p *Prof) TakeCycleDepth() int32 {
+	if p == nil {
+		return 0
+	}
+	return p.cycleDepth.Swap(0)
+}
+
+// Cells snapshots the per-node attribution counters (index = NodeID).
+func (p *Prof) Cells() []ProfCellSnap {
+	if p == nil {
+		return nil
+	}
+	cells := *p.cells.Load()
+	out := make([]ProfCellSnap, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out[i] = ProfCellSnap{
+			Acts:     c.Acts.Load(),
+			Emitted:  c.Emitted.Load(),
+			Nulls:    c.Nulls.Load(),
+			Cost:     c.Cost.Load(),
+			SampleNS: c.SampleNS.Load(),
+			Samples:  c.Samples.Load(),
+		}
+	}
+	return out
+}
+
+// ProfCellSnap is a point-in-time copy of one node's attribution counters.
+type ProfCellSnap struct {
+	Acts     int64
+	Emitted  int64
+	Nulls    int64
+	Cost     int64
+	SampleNS int64
+	Samples  int64
+}
+
+// DepthHist snapshots the chain-depth histogram (bucket i = depth i+1;
+// the last bucket collects deeper chains).
+func (p *Prof) DepthHist() [DepthBuckets]int64 {
+	var out [DepthBuckets]int64
+	if p == nil {
+		return out
+	}
+	for i := range p.depthH {
+		out[i] = p.depthH[i].Load()
+	}
+	return out
+}
+
+// CostHist snapshots the task-granularity histogram (bucket i = modeled
+// cost in [2^i, 2^(i+1)) µs).
+func (p *Prof) CostHist() [CostBuckets]int64 {
+	var out [CostBuckets]int64
+	if p == nil {
+		return out
+	}
+	for i := range p.costH {
+		out[i] = p.costH[i].Load()
+	}
+	return out
+}

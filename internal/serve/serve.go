@@ -18,14 +18,19 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"soarpsme/internal/engine"
+	"soarpsme/internal/fault"
+	"soarpsme/internal/matchprof"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
 	"soarpsme/internal/tasks/cypress"
@@ -50,6 +55,18 @@ type Config struct {
 	Deadline time.Duration
 	// Obs receives service metrics (nil disables instrumentation).
 	Obs *obs.Observer
+	// Log receives structured request logs (nil disables request logging).
+	// Every request line carries the request ID echoed in the X-Request-ID
+	// header and in error bodies.
+	Log *slog.Logger
+	// Prof configures per-session match profiling. Profiling is always on
+	// in the serving path (the /debug/match endpoints depend on it); nil
+	// uses matchprof defaults.
+	Prof *matchprof.Options
+	// Fault, when non-nil, injects scheduled faults into every session's
+	// match workers (the daemon's -fault-seed flag); failed cycles recover
+	// through the serial fallback and trip the flight recorder.
+	Fault *fault.Injector
 }
 
 // Server hosts the sessions and their shared worker budget.
@@ -62,6 +79,7 @@ type Server struct {
 	nextID   int
 
 	draining atomic.Bool
+	reqSeq   atomic.Int64
 
 	mSessions *obs.Gauge
 	mRequests *obs.Counter
@@ -84,6 +102,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 64
 	}
+	if cfg.Prof == nil {
+		cfg.Prof = &matchprof.Options{}
+	}
 	s := &Server{
 		cfg:      cfg,
 		budget:   prun.NewBudget(cfg.Workers),
@@ -95,9 +116,16 @@ func New(cfg Config) *Server {
 		s.mCycles = o.Counter("serve_cycles_total")
 		s.mRejected = o.Counter("serve_backpressure_rejections_total")
 		s.mLatency = o.Histogram("serve_request_seconds")
+		// HTTP request spans render on their own trace lane.
+		o.Tracer().SetProcessName(servePid, "soarpsme serve")
+		o.Tracer().SetThreadName(servePid, 0, "http")
 	}
 	return s
 }
+
+// servePid is the trace process lane HTTP request spans render under (the
+// match pipeline owns pid 0).
+const servePid = 1
 
 // Budget exposes the shared worker budget (tests assert its cap).
 func (s *Server) Budget() *prun.Budget { return s.budget }
@@ -168,9 +196,13 @@ type RunRequest struct {
 	Deadline string `json:"deadline,omitempty"`
 }
 
-// RunResult reports a batch of cycles.
+// RunResult reports a batch of cycles. FirstCycle/LastCycle are the
+// session's cycle indices the batch covered, so log lines and flight dumps
+// can be correlated with a specific request.
 type RunResult struct {
 	Cycles       int      `json:"cycles"`
+	FirstCycle   int      `json:"first_cycle"`
+	LastCycle    int      `json:"last_cycle"`
 	Fired        int      `json:"fired,omitempty"`
 	Tasks        int      `json:"tasks"`
 	Failed       int      `json:"failed"`
@@ -226,11 +258,17 @@ type InstJSON struct {
 
 type errJSON struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's X-Request-ID so a 429/503 can be
+	// correlated with the request log next to its Retry-After.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ---- handlers ----
 
-// Handler returns the service mux wrapped in the admission middleware.
+// Handler returns the service mux wrapped in the admission middleware,
+// which assigns every request an ID (echoed in the X-Request-ID header and
+// in error bodies), emits one structured log line and one trace span per
+// request, and refuses everything but /healthz while draining.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -242,19 +280,81 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/deltas", s.handleDeltas)
 	mux.HandleFunc("GET /sessions/{id}/conflict-set", s.handleConflictSet)
 	mux.HandleFunc("GET /sessions/{id}/audit", s.handleAudit)
+	mux.HandleFunc("GET /debug/match", s.handleDebugMatch)
+	mux.HandleFunc("GET /debug/match/flight", s.handleDebugFlight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mRequests.Inc()
+		reqID := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		defer func() { s.mLatency.Observe(time.Since(start).Seconds()) }()
+		defer func() {
+			d := time.Since(start)
+			s.mLatency.Observe(d.Seconds())
+			sess := sessionFromPath(r.URL.Path)
+			if s.cfg.Log != nil {
+				s.cfg.Log.Info("request",
+					"req", reqID, "method", r.Method, "path", r.URL.Path,
+					"session", sess, "status", sw.code(), "bytes", sw.bytes, "dur", d)
+			}
+			if o := s.cfg.Obs; o != nil {
+				o.Tracer().Complete(servePid, 0, r.Method+" "+r.URL.Path, "request", start, d,
+					map[string]any{"req": reqID, "session": sess, "status": sw.code()})
+			}
+		}()
 		// /healthz stays reachable during drain so orchestration can watch
 		// the shutdown; everything else is refused up front.
 		if s.draining.Load() && r.URL.Path != "/healthz" {
-			w.Header().Set("Connection", "close")
-			writeJSON(w, http.StatusServiceUnavailable, errJSON{Error: "draining"})
+			sw.Header().Set("Connection", "close")
+			writeErr(sw, http.StatusServiceUnavailable, "draining")
 			return
 		}
-		mux.ServeHTTP(w, r)
+		mux.ServeHTTP(sw, r)
 	})
+}
+
+// statusWriter captures the response status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(c int) {
+	if w.status == 0 {
+		w.status = c
+	}
+	w.ResponseWriter.WriteHeader(c)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// sessionFromPath extracts the session ID from a /sessions/{id}... path
+// ("" for non-session requests), so log lines carry it without re-routing.
+func sessionFromPath(path string) string {
+	const pfx = "/sessions/"
+	if !strings.HasPrefix(path, pfx) {
+		return ""
+	}
+	rest := path[len(pfx):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -264,7 +364,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errJSON{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errJSON{Error: fmt.Sprintf(format, args...), RequestID: w.Header().Get("X-Request-ID")})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -307,6 +407,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ecfg.Budget = s.budget
 	ecfg.Obs = s.cfg.Obs
+	ecfg.Prof = s.cfg.Prof
+	ecfg.Fault = s.cfg.Fault
 
 	ss := &Session{
 		Created: time.Now(),
@@ -361,7 +463,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[ss.ID] = ss
 	s.mSessions.Set(float64(len(s.sessions)))
 	s.mu.Unlock()
+	ss.eng.Prof.SetSession(ss.ID)
 	go ss.loop()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("session created", "req", w.Header().Get("X-Request-ID"),
+			"session", ss.ID, "task", ss.Task, "productions", prods)
+	}
 
 	writeJSON(w, http.StatusCreated, CreateResult{ID: ss.ID, Task: ss.Task, Productions: prods})
 }
@@ -448,6 +555,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			res, err := ss.runCycles(req.Cycles, req.Chunking)
 			if res != nil {
 				s.mCycles.Add(uint64(res.Cycles))
+				// The handler goroutine is parked in submit until this
+				// closure's reply, so reading the response headers here is
+				// race-free.
+				if s.cfg.Log != nil && res.Cycles > 0 {
+					s.cfg.Log.Info("run", "req", w.Header().Get("X-Request-ID"),
+						"session", ss.ID, "cycles", res.Cycles,
+						"first_cycle", res.FirstCycle, "last_cycle", res.LastCycle,
+						"tasks", res.Tasks, "failed", res.Failed, "recovered", res.Recovered)
+				}
 			}
 			return res, err
 		})
@@ -521,6 +637,77 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	ss.shutdown()
 	<-ss.done
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// handleDebugMatch serves match-profiling snapshots: per-session tables
+// plus the aggregate, or a single session with ?session=ID. Snapshots read
+// atomic counters directly — no session-loop dispatch — so a scrape never
+// queues behind (or backpressures) match work.
+func (s *Server) handleDebugMatch(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("session"); id != "" {
+		s.mu.Lock()
+		ss := s.sessions[id]
+		s.mu.Unlock()
+		if ss == nil {
+			writeErr(w, http.StatusNotFound, "no session %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, ss.eng.Prof.Snapshot())
+		return
+	}
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		all = append(all, ss)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	snaps := make([]*matchprof.Snapshot, 0, len(all))
+	for _, ss := range all {
+		if sn := ss.eng.Prof.Snapshot(); sn != nil {
+			snaps = append(snaps, sn)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":  snaps,
+		"aggregate": matchprof.Merge(snaps),
+	})
+}
+
+// handleDebugFlight serves the most recent flight-recorder dump — for one
+// session with ?session=ID, otherwise the newest across all sessions. 404
+// until an anomaly has tripped a recorder.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		all = append(all, ss)
+	}
+	s.mu.Unlock()
+	want := r.URL.Query().Get("session")
+	var latest *matchprof.Dump
+	var latestAt time.Time
+	for _, ss := range all {
+		if want != "" && ss.ID != want {
+			continue
+		}
+		d := ss.eng.Prof.LastDump()
+		if d == nil {
+			continue
+		}
+		at, err := time.Parse(time.RFC3339Nano, d.TrippedAt)
+		if err != nil {
+			at = time.Time{}
+		}
+		if latest == nil || at.After(latestAt) {
+			latest, latestAt = d, at
+		}
+	}
+	if latest == nil {
+		writeErr(w, http.StatusNotFound, "no flight dump (no anomaly has tripped a recorder)")
+		return
+	}
+	writeJSON(w, http.StatusOK, latest)
 }
 
 // RetryAfter parses a 429 response's Retry-After seconds (1 on absence);

@@ -137,7 +137,7 @@ func (s *Session) withDeadline(d time.Duration, fn func() (any, error)) (any, er
 // It reports per-cycle conflict-set fingerprints so clients can verify
 // byte-identical match results against a solo serial run.
 func (s *Session) runCycles(n int, chunking bool) (*RunResult, error) {
-	res := &RunResult{}
+	res := &RunResult{FirstCycle: s.cycles, LastCycle: s.cycles}
 	for i := 0; i < n; i++ {
 		switch s.Task {
 		case "cypress":
@@ -175,6 +175,7 @@ func (s *Session) runCycles(n int, chunking bool) (*RunResult, error) {
 		}
 		s.cycles++
 		res.Cycles++
+		res.LastCycle = s.cycles - 1
 		res.Fingerprints = append(res.Fingerprints, Fingerprint(s.eng))
 	}
 	return res, nil
