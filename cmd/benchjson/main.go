@@ -14,13 +14,17 @@
 // The Profiling/<task>/on|off pair is additionally gated intra-run: the
 // match profiler's always-on attribution counters must cost no more than
 // -prof-tolerance (5%) in ns/op over the unprofiled twin, independent of
-// any baseline file.
+// any baseline file. The replay matrix's unlink=true/false pairs get the
+// same intra-run treatment: unlink=true may not cost more than
+// -unlink-tolerance (5%) in ns/op over its unlink=false twin on any
+// task/policy, so the default-on flip can't silently regress wall-clock.
 //
 // Usage:
 //
 //	benchjson [-out file] [-baseline file] [-tolerance 0.10] [-strict]
 //	          [-match regexp] [-figures=false] [-serving=false]
 //	          [-profiling=false] [-prof-tolerance 0.05]
+//	          [-unlink-gate=false] [-unlink-tolerance 0.05]
 package main
 
 import (
@@ -193,6 +197,59 @@ func profGate(cases []benchkit.Case, results []result, tol float64) []string {
 	return fails
 }
 
+// unlinkGate enforces the intra-run unlink wall-clock budget: for every
+// replay-matrix <task>/<policy>/unlink=true result with an /unlink=false
+// twin, ns/op(true) must not exceed ns/op(false) by more than tol — the
+// null-match filter has to be wall-clock-neutral-or-better everywhere, not
+// just cheaper in tasks/op, or the default-on flip silently regresses
+// latency. Like profGate, a failing pair is re-measured once, both sides
+// back to back keeping each side's best time, so one scheduler hiccup on a
+// noisy box doesn't fail the gate on its own.
+func unlinkGate(cases []benchkit.Case, results []result, tol float64) []string {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	bench := map[string]func(b *testing.B){}
+	for _, c := range cases {
+		bench[c.Name] = c.Bench
+	}
+	var fails []string
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, "/unlink=true") {
+			continue
+		}
+		offName := strings.TrimSuffix(r.Name, "/unlink=true") + "/unlink=false"
+		off, ok := byName[offName]
+		if !ok || off <= 0 {
+			continue
+		}
+		on := r.NsPerOp
+		if on/off-1 > tol {
+			fmt.Fprintf(os.Stderr, "benchjson: %s over budget on first measurement (+%.1f%%), re-measuring the pair\n",
+				r.Name, 100*(on/off-1))
+			if b, ok := bench[offName]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < off {
+					off = v
+				}
+			}
+			if b, ok := bench[r.Name]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < on {
+					on = v
+				}
+			}
+		}
+		if growth := on/off - 1; growth > tol {
+			fails = append(fails, fmt.Sprintf("%s: unlink=true costs %.0f vs %.0f ns/op (+%.1f%%, budget %.0f%%)",
+				r.Name, on, off, 100*growth, 100*tol))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: unlink wall-clock delta %+.1f%% (budget %.0f%%)\n",
+				r.Name, 100*growth, 100*tol)
+		}
+	}
+	return fails
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default BENCH_<git-short-sha>.json)")
 	basePath := flag.String("baseline", "", "baseline JSON to gate against; exit nonzero on regression")
@@ -202,6 +259,8 @@ func main() {
 	serving := flag.Bool("serving", true, "include the internal/serve concurrent-session benches")
 	profiling := flag.Bool("profiling", true, "include the match-profiler overhead pair and gate it intra-run")
 	profTol := flag.Float64("prof-tolerance", 0.05, "allowed fractional ns/op overhead of profiling-on vs profiling-off")
+	unlinkCheck := flag.Bool("unlink-gate", true, "gate every <task>/<policy> unlink=true/false pair intra-run on ns/op")
+	unlinkTol := flag.Float64("unlink-tolerance", 0.05, "allowed fractional ns/op cost of unlink=true vs unlink=false")
 	strict := flag.Bool("strict", false, "with -baseline: fail on any current<->baseline name mismatch instead of skipping")
 	flag.Parse()
 
@@ -253,6 +312,16 @@ func main() {
 	if *profiling {
 		if fails := profGate(cases, f.Benchmarks, *profTol); len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d profiling-overhead failure(s):\n", len(fails))
+			for _, s := range fails {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *unlinkCheck {
+		if fails := unlinkGate(cases, f.Benchmarks, *unlinkTol); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d unlink wall-clock failure(s):\n", len(fails))
 			for _, s := range fails {
 				fmt.Fprintln(os.Stderr, "  "+s)
 			}

@@ -78,7 +78,7 @@ func main() {
 	policyName := flag.String("policy", "", "live-capture scheduling policy: single-queue, multi-queue, or work-stealing (figures replay captured traces in the simulator and are unaffected)")
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
-	unlink := flag.Bool("unlink", false, "enable left/right unlinking in the capture engines (default off: the paper's engine scheduled every null activation, and the figures measure that task volume)")
+	unlink := flag.Bool("unlink", true, "left/right unlinking in the capture engines (pass -unlink=false to reproduce the paper's full task volume: its engine scheduled every null activation)")
 	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the capture engines (0 = off); failed cycles recover via the serial fallback, so results are unchanged")
 	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline for the capture engines (0 = off)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
@@ -109,6 +109,11 @@ func main() {
 	l := exp.NewLab()
 	l.SetObserver(observer)
 	l.SetUnlink(*unlink)
+	if *unlink {
+		fmt.Fprintln(os.Stderr, ";; note: null-activation filter on (the default); the paper's engine"+
+			" scheduled every null activation, so figures that measure task volume or"+
+			" its parallel speedup run lower here — pass -unlink=false for paper fidelity")
+	}
 	if *policyName != "" {
 		p, err := prun.ParsePolicy(*policyName)
 		if err != nil {

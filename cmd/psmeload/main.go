@@ -5,6 +5,15 @@
 // session matches them byte for byte — the serving layer's conformance
 // contract under real HTTP concurrency.
 //
+// With -ingest the sessions are program sessions driven by client-side
+// wme-delta batches instead of server-side cypress cycles: each /run
+// request carries -batch deltas ingested as ONE match cycle, so the report
+// separates cycles/sec (request/cycle overhead) from deltas/sec (ingest
+// bandwidth). The delta script is deterministic — a rotating window of
+// item adds, joining probe adds, and windowed removes of the oldest
+// outstanding wme — so -verify can replay it on an in-process serial
+// engine and demand byte-identical per-cycle fingerprints.
+//
 // Backpressure (429) is honored via Retry-After; every cycle is accounted
 // for, and the exit status is nonzero on lost cycles or fingerprint
 // divergence — CI's serve-smoke leg keys off it.
@@ -14,6 +23,7 @@
 //	psmeload [-addr http://127.0.0.1:8740] [-sessions 8] [-cycles 60]
 //	         [-batch 10] [-chunking] [-policy work-stealing]
 //	         [-productions 60] [-chunks 6] [-seed 17] [-verify]
+//	         [-ingest] [-deltas 480]
 package main
 
 import (
@@ -70,8 +80,57 @@ func call(method, url string, body, out any) error {
 
 type sessionReport struct {
 	cycles int
+	deltas int
 	tasks  int
 	err    error
+}
+
+// driveIngestSession feeds the delta script to one program session, one
+// /run request (= one match cycle) per batch, resolving remove references
+// through the server-assigned ids accumulated from RunResult.Added.
+func driveIngestSession(addr, policy string, script [][]serve.IngestOp, baseline []string) sessionReport {
+	var rep sessionReport
+	var created serve.CreateResult
+	if err := call("POST", addr+"/sessions", serve.CreateRequest{
+		Program: serve.IngestProgram, Policy: policy,
+	}, &created); err != nil {
+		rep.err = fmt.Errorf("create: %w", err)
+		return rep
+	}
+	base := addr + "/sessions/" + created.ID
+	var ids []uint64
+	var fps []string
+	for cyc, ops := range script {
+		batch, err := serve.IngestBatchJSON(ops, ids)
+		if err != nil {
+			rep.err = fmt.Errorf("ingest cycle %d: %w", cyc, err)
+			return rep
+		}
+		var res serve.RunResult
+		if err := call("POST", base+"/run", serve.RunRequest{Deltas: batch}, &res); err != nil {
+			rep.err = fmt.Errorf("ingest cycle %d: %w", cyc, err)
+			return rep
+		}
+		if res.Cycles != 1 || res.BadDeltas > 0 || res.Failed > 0 {
+			rep.err = fmt.Errorf("ingest cycle %d: cycles=%d bad=%d failed=%d", cyc, res.Cycles, res.BadDeltas, res.Failed)
+			return rep
+		}
+		rep.cycles += res.Cycles
+		rep.deltas += len(batch)
+		rep.tasks += res.Tasks
+		ids = append(ids, res.Added...)
+		fps = append(fps, res.Fingerprints...)
+	}
+	if baseline != nil {
+		for i := range fps {
+			if i >= len(baseline) || fps[i] != baseline[i] {
+				rep.err = fmt.Errorf("session %s cycle %d fingerprint diverged from solo serial run", created.ID, i)
+				return rep
+			}
+		}
+	}
+	rep.err = call("DELETE", base, nil, nil)
+	return rep
 }
 
 func driveSession(addr string, p cypress.Params, policy string, cycles, batch int, chunking bool, baseline []string) sessionReport {
@@ -126,7 +185,14 @@ func main() {
 	chunks := flag.Int("chunks", 6, "cypress run-time chunks")
 	seed := flag.Uint64("seed", 17, "cypress workload seed (all sessions share it)")
 	verify := flag.Bool("verify", true, "verify per-cycle fingerprints against an in-process solo serial run")
+	ingest := flag.Bool("ingest", false, "drive program sessions with client-side delta batches via /run (-batch deltas = one match cycle) instead of server-side cypress cycles")
+	deltas := flag.Int("deltas", 480, "ingest mode: wme deltas per session (the stream is fixed; -batch only changes how many ride one request)")
 	flag.Parse()
+
+	if *ingest {
+		runIngest(*addr, *policy, *sessions, *deltas, *batch, *verify)
+		return
+	}
 
 	// All sessions share one seed, so one solo baseline checks them all.
 	p := cypress.Params{Productions: *productions, AvgCEs: 10, Chunks: *chunks, ChunkCEs: 16,
@@ -172,6 +238,64 @@ func main() {
 	if failed > 0 || total != *sessions**cycles {
 		fmt.Fprintf(os.Stderr, "psmeload: FAILED: %d session errors, %d/%d cycles completed\n",
 			failed, total, *sessions**cycles)
+		os.Exit(1)
+	}
+}
+
+// runIngest is the -ingest mode: every session replays the same fixed
+// delta stream chopped into -batch-sized requests, so different batch
+// sizes ingest identical work and deltas/sec — the sustained ingest
+// bandwidth — is directly comparable across them. cycles/sec (one cycle
+// per request) is reported alongside as the request-overhead view.
+func runIngest(addr, policy string, sessions, deltas, batch int, verify bool) {
+	if batch < 1 || batch > serve.IngestRemoveLag {
+		fmt.Fprintf(os.Stderr, "psmeload: ingest -batch must be in [1, %d] (removes reference ids assigned %d slots earlier)\n",
+			serve.IngestRemoveLag, serve.IngestRemoveLag)
+		os.Exit(2)
+	}
+	batches := serve.ChopScript(serve.IngestScript(deltas), batch)
+	var baseline []string
+	if verify {
+		fps, err := serve.IngestBaseline(batches)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psmeload: ingest baseline:", err)
+			os.Exit(1)
+		}
+		baseline = fps
+	}
+
+	start := time.Now()
+	reports := make([]sessionReport, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = driveIngestSession(addr, policy, batches, baseline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cycles, total, tasks, failed := 0, 0, 0, 0
+	for i, r := range reports {
+		cycles += r.cycles
+		total += r.deltas
+		tasks += r.tasks
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "psmeload: session %d: %v\n", i, r.err)
+		}
+	}
+	fmt.Printf(";; psmeload ingest: %d sessions x %d deltas (batch %d): %d cycles in %.3fs (%.1f cycles/sec, %.1f deltas/sec, %d match tasks)",
+		sessions, deltas, batch, cycles, elapsed.Seconds(), float64(cycles)/elapsed.Seconds(), float64(total)/elapsed.Seconds(), tasks)
+	if verify {
+		fmt.Printf(" [verified vs solo serial]")
+	}
+	fmt.Println()
+	if failed > 0 || total != sessions*deltas {
+		fmt.Fprintf(os.Stderr, "psmeload: FAILED: %d session errors, %d/%d deltas ingested\n",
+			failed, total, sessions*deltas)
 		os.Exit(1)
 	}
 }

@@ -113,12 +113,77 @@ func serveBench(sessions, cycles int, pol prun.Policy) func(b *testing.B) {
 	}
 }
 
+// serveIngestBench measures the batched WM-delta ingest path: `sessions`
+// concurrent program sessions each replay the canonical fixed delta stream
+// (serve.IngestScript) chopped into `batch`-delta /run requests, each
+// request ingested as one match cycle. Because the stream is identical at
+// every batch size, deltas/sec — the sustained ingest bandwidth — is the
+// headline, with cycles/sec alongside as the request-overhead view.
+func serveIngestBench(sessions, deltas, batch int, pol prun.Policy) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv := serve.New(serve.Config{
+			Processes:   2,
+			Policy:      pol,
+			QueueDepth:  8,
+			MaxSessions: 2 * sessions,
+			Obs:         obs.New(),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+
+		batches := serve.ChopScript(serve.IngestScript(deltas), batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan struct{}, sessions)
+			for s := 0; s < sessions; s++ {
+				go func() {
+					defer func() { done <- struct{}{} }()
+					var created serve.CreateResult
+					serveCall(b, "POST", ts.URL+"/sessions", serve.CreateRequest{Program: serve.IngestProgram}, &created)
+					base := ts.URL + "/sessions/" + created.ID
+					var ids []uint64
+					for cyc, ops := range batches {
+						body, err := serve.IngestBatchJSON(ops, ids)
+						if err != nil {
+							b.Errorf("ingest cycle %d: %v", cyc, err)
+							return
+						}
+						var res serve.RunResult
+						serveCall(b, "POST", base+"/run", serve.RunRequest{Deltas: body}, &res)
+						if res.Cycles != 1 || res.BadDeltas > 0 || res.Failed > 0 {
+							b.Errorf("ingest cycle %d: cycles=%d bad=%d failed=%d", cyc, res.Cycles, res.BadDeltas, res.Failed)
+							return
+						}
+						ids = append(ids, res.Added...)
+					}
+					serveCall(b, "DELETE", base, nil, nil)
+				}()
+			}
+			for s := 0; s < sessions; s++ {
+				<-done
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N*sessions*len(batches))/secs, "cycles/sec")
+			b.ReportMetric(float64(b.N*sessions*deltas)/secs, "deltas/sec")
+		}
+		b.ReportMetric(float64(sessions*deltas), "deltas/op")
+	}
+}
+
 // ServeCases is the serving-layer bench: concurrent cypress sessions driven
 // through cmd/psmed's HTTP stack (internal/serve) over one shared worker
-// budget — the serving counterpart of the in-process replay matrix.
+// budget — the serving counterpart of the in-process replay matrix — plus
+// the batched-ingest path at batch sizes 1 and 8 over the same delta
+// stream, so the per-request overhead batching amortizes is measured.
 func ServeCases() []Case {
 	return []Case{
 		{Name: "Serve/4x30/work-stealing", Bench: serveBench(4, 30, prun.WorkStealing)},
 		{Name: "Serve/4x30/single-queue", Bench: serveBench(4, 30, prun.SingleQueue)},
+		{Name: "ServeIngest/4x480/batch=1", Bench: serveIngestBench(4, 480, 1, prun.WorkStealing)},
+		{Name: "ServeIngest/4x480/batch=8", Bench: serveIngestBench(4, 480, 8, prun.WorkStealing)},
 	}
 }

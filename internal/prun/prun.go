@@ -95,6 +95,16 @@ func NewBudget(n int) *Budget {
 // Cap returns the budget's total worker capacity.
 func (b *Budget) Cap() int { return b.cap }
 
+// InUse returns the number of worker slots currently held. The serving
+// layer reads it (with Cap) as the budget-occupancy half of its
+// backpressure hint: a saturated budget means admitted work will drain
+// slowly, so a 429's Retry-After should back clients off longer.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap - b.free
+}
+
 // Acquire blocks until at least one worker slot is free, then takes up to
 // want slots and returns the number taken (in [1, want]).
 func (b *Budget) Acquire(want int) int {
@@ -184,7 +194,12 @@ type CycleStats struct {
 	// Steals counts tasks popped from another process's queue (multi-queue
 	// cycle-stealing, §6.1, and the WorkStealing policy's thief path).
 	Steals int64
-	Trace  []TaskRec
+	// SuppBatches counts executed suppressed-batch tasks (each carrying up
+	// to suppBatch deferred empty-left right activations). Tasks includes
+	// them, so Tasks - SuppBatches is the count of ordinary activations —
+	// the quantity the unlink counter oracle compares against a serial run.
+	SuppBatches int64
+	Trace       []TaskRec
 	// Failed marks a cycle that did not run to quiescence: a worker
 	// panicked or the watchdog deadline expired. The counters above cover
 	// only the work executed before the abort, Trace is dropped, and the
@@ -213,12 +228,13 @@ type Runtime struct {
 	seq     atomic.Int64
 	// minNodeID, when nonzero, drops activations of older nodes — the
 	// run-time update filter (paper §5.2).
-	minNodeID  atomic.Uint32
-	failedPops atomic.Int64
-	termProbes atomic.Int64
-	steals     atomic.Int64
-	rrInject   atomic.Int64
-	panics     atomic.Int64
+	minNodeID   atomic.Uint32
+	failedPops  atomic.Int64
+	termProbes  atomic.Int64
+	steals      atomic.Int64
+	suppBatches atomic.Int64
+	rrInject    atomic.Int64
+	panics      atomic.Int64
 
 	// ctl supervises the current cycle; a fresh one is installed by
 	// resetCycleCounters so a stale watchdog can only poison its own
@@ -429,6 +445,53 @@ func (inj *wsSched) rotate() {
 	inj.d = rt.deques[i%len(rt.deques)]
 }
 
+// suppBatch is the number of suppressed right activations that ride one
+// scheduled batch task. Large enough to amortize the task's scheduling
+// cost down to noise, small enough that a cycle's suppressed work spreads
+// across the workers (work-stealing steals whole batches).
+const suppBatch = 32
+
+// suppBatcher defers suppressed right activations — destinations whose
+// left memory was empty at injection time — into batch tasks flushed
+// round-robin over the scheduler's queues. This replaces the old
+// injector-inline execution (rete.FilterRight at injection), which
+// serialized every suppressed memory op on the injection goroutine and
+// re-entered the emitter recursively on relink races. Batches keep the
+// per-activation cost near zero while the memory ops parallelize across
+// the match processes like any other task.
+type suppBatcher struct {
+	rt    *Runtime
+	inj   *wsSched // WorkStealing injector; nil under the lock-queue policies
+	batch []rete.SuppRight
+}
+
+// add defers one suppressed activation, flushing at suppBatch entries.
+// The caller has already applied the update filter and SuppressRight.
+func (b *suppBatcher) add(n *rete.BetaNode, op wme.Op, w *wme.WME) {
+	if b.batch == nil {
+		b.batch = make([]rete.SuppRight, 0, suppBatch)
+	}
+	b.batch = append(b.batch, rete.SuppRight{Node: n, Op: op, W: w})
+	if len(b.batch) >= suppBatch {
+		b.flush()
+	}
+}
+
+// flush schedules the pending entries as one batch task (no-op when empty).
+func (b *suppBatcher) flush() {
+	if len(b.batch) == 0 {
+		return
+	}
+	t := &rete.Task{Node: b.batch[0].Node, Dir: rete.DirRight, Supp: b.batch}
+	b.batch = nil
+	if b.inj != nil {
+		b.inj.rotate()
+		b.inj.Push(t)
+		return
+	}
+	b.rt.injectSched().Push(t)
+}
+
 // pop removes the most recent task from q (LIFO, like PSM-E's stack
 // queues, which favors depth-first chain following).
 func (q *taskQueue) pop() *rete.Task {
@@ -450,6 +513,7 @@ func (q *taskQueue) pop() *rete.Task {
 func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 	rt.resetCycleCounters()
 	inj := rt.beginInject()
+	sb := suppBatcher{rt: rt, inj: inj}
 	for _, d := range deltas {
 		if inj != nil {
 			inj.rotate()
@@ -457,7 +521,8 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 				if rt.filtered(n.ID) {
 					return
 				}
-				if rt.nw.FilterRight(n, op, w, inj) {
+				if rt.nw.SuppressRight(n) {
+					sb.add(n, op, w)
 					return
 				}
 				t := inj.NewTask(n)
@@ -470,17 +535,18 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 			continue
 		}
 		s := rt.injectSched()
-		var si rete.Scheduler = s
 		rt.nw.Inject(d, func(n *rete.BetaNode, w *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
 				return
 			}
-			if rt.nw.FilterRight(n, op, w, si) {
+			if rt.nw.SuppressRight(n) {
+				sb.add(n, op, w)
 				return
 			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: w})
 		})
 	}
+	sb.flush()
 	rt.endInject(inj)
 	return rt.runToQuiescence()
 }
@@ -491,6 +557,7 @@ func (rt *Runtime) RunCycle(deltas []wme.Delta) CycleStats {
 func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 	rt.resetCycleCounters()
 	inj := rt.beginInject()
+	sb := suppBatcher{rt: rt, inj: inj}
 	for _, t := range seeds {
 		if inj != nil {
 			inj.rotate()
@@ -506,7 +573,8 @@ func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 				if rt.filtered(n.ID) {
 					return
 				}
-				if rt.nw.FilterRight(n, wme.Add, ww, inj) {
+				if rt.nw.SuppressRight(n) {
+					sb.add(n, wme.Add, ww)
 					return
 				}
 				t := inj.NewTask(n)
@@ -519,17 +587,18 @@ func (rt *Runtime) RunSeeded(seeds []*rete.Task, all []*wme.WME) CycleStats {
 			continue
 		}
 		s := rt.injectSched()
-		var si rete.Scheduler = s
 		rt.nw.Inject(wme.Delta{Op: wme.Add, WME: w}, func(n *rete.BetaNode, ww *wme.WME, op wme.Op) {
 			if rt.filtered(n.ID) {
 				return
 			}
-			if rt.nw.FilterRight(n, wme.Add, ww, si) {
+			if rt.nw.SuppressRight(n) {
+				sb.add(n, wme.Add, ww)
 				return
 			}
 			s.Push(&rete.Task{Node: n, Dir: rete.DirRight, Op: op, W: ww})
 		})
 	}
+	sb.flush()
 	rt.endInject(inj)
 	return rt.runToQuiescence()
 }
@@ -538,6 +607,7 @@ func (rt *Runtime) resetCycleCounters() {
 	rt.failedPops.Store(0)
 	rt.termProbes.Store(0)
 	rt.steals.Store(0)
+	rt.suppBatches.Store(0)
 	rt.panics.Store(0)
 	rt.ctl = newCycleCtl()
 	if rt.cfg.CaptureTrace {
@@ -584,6 +654,7 @@ type worker struct {
 	tracing bool
 	local   []TaskRec
 	tasks   int64
+	batches int64
 	cost    int64
 
 	// Profiling state (all nil/zero when the network has no profiler).
@@ -666,6 +737,9 @@ func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
 	t.Cost = cost
 	w.tasks++
 	w.cost += cost
+	if t.Supp != nil {
+		w.batches++
+	}
 	if w.prof != nil {
 		d := t.Depth + 1
 		w.profD[rete.DepthBucket(d)]++
@@ -697,6 +771,7 @@ func (w *worker) exec(t *rete.Task, s rete.Scheduler, stolen bool) {
 func (w *worker) flush(tasks, totalCost *atomic.Int64) {
 	tasks.Add(w.tasks)
 	totalCost.Add(w.cost)
+	w.rt.suppBatches.Add(w.batches)
 	if w.prof != nil && w.tasks > 0 {
 		w.prof.FlushCycleLocal(&w.profD, &w.profC, w.profMax)
 	}
@@ -769,13 +844,14 @@ func (rt *Runtime) runToQuiescence() CycleStats {
 	}
 	wg.Wait()
 	cs := CycleStats{
-		Tasks:      int(tasks.Load()),
-		Workers:    workers,
-		TotalCost:  totalCost.Load(),
-		FailedPops: rt.failedPops.Load(),
-		TermProbes: rt.termProbes.Load(),
-		Steals:     rt.steals.Load(),
-		Panics:     int(rt.panics.Load()),
+		Tasks:       int(tasks.Load()),
+		Workers:     workers,
+		TotalCost:   totalCost.Load(),
+		FailedPops:  rt.failedPops.Load(),
+		TermProbes:  rt.termProbes.Load(),
+		Steals:      rt.steals.Load(),
+		SuppBatches: rt.suppBatches.Load(),
+		Panics:      int(rt.panics.Load()),
 	}
 	if ctl.bad.Load() {
 		rt.drainPoisoned()

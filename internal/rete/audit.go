@@ -163,14 +163,14 @@ func (nw *Network) Audit(wm *wme.Memory) []error {
 	// Unlink-counter cross-check: every counter slot must equal the number
 	// of live entries recounted above (zero for nodes with none, including
 	// excised nodes whose IDs may linger in the counter arrays).
-	for id := range m.nc.left {
+	for id := range m.nc.slots {
 		node := NodeID(id)
-		if got, want := m.nc.left[id].Load(), leftTally[node]; got != want {
+		if got, want := m.nc.slots[id].left.Load(), leftTally[node]; got != want {
 			if !add("node %v: left unlink counter %d != live entries %d", nodes[node], got, want) {
 				break
 			}
 		}
-		if got, want := m.nc.right[id].Load(), rightTally[node]; got != want {
+		if got, want := m.nc.slots[id].right.Load(), rightTally[node]; got != want {
 			if !add("node %v: right unlink counter %d != live entries %d", nodes[node], got, want) {
 				break
 			}

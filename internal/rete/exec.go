@@ -33,6 +33,14 @@ type Task struct {
 	Tok  *Token   // left activations; BB right and NCC-partner inputs
 	W    *wme.WME // join/not right activations
 
+	// Supp, when non-nil, makes this a suppressed-batch task: many
+	// empty-left right activations riding one scheduled task (Node is the
+	// first entry's node, for tracing/attribution; Dir/Op/W are ignored).
+	// Injectors batch these instead of executing them inline so the
+	// empty-opposite memory ops parallelize across workers at full
+	// granularity rather than serializing on the injection goroutine.
+	Supp []SuppRight
+
 	Seq       int64
 	ParentSeq int64
 	Cost      int64
@@ -40,6 +48,18 @@ type Task struct {
 	// injection roots are 0, each emitted child is parent+1. The profiler
 	// reports chain depth as Depth+1 (so a root counts as depth 1).
 	Depth int32
+}
+
+// SuppRight is one suppressed right activation deferred into a batch task:
+// the destination's left memory was empty when the activation was
+// injected, so it carries no scan work — only its own memory insert or
+// remove. The left-count snapshot is only a scheduling heuristic; the
+// execution re-checks it under the line lock (leftScanSkip) and a relink
+// race simply runs the scan and emits its matches like any other task.
+type SuppRight struct {
+	Node *BetaNode
+	Op   wme.Op
+	W    *wme.WME
 }
 
 func (t *Task) String() string {
@@ -81,6 +101,20 @@ const (
 	CostPNode     = 220 // conflict-set update
 )
 
+// suppInline sizes the emitter's stack-backed suppressed-run buffer; runs
+// deeper than this spill to the heap (rare — it takes a chain of more than
+// suppInline consecutive empty-right joins pending at once).
+const suppInline = 8
+
+// suppRun is one pending suppressed left activation: a child join whose
+// right memory was empty when its parent emitted. It is buffered and
+// drained iteratively instead of executed by recursion — see drain.
+type suppRun struct {
+	node *BetaNode
+	tok  *Token
+	op   wme.Op
+}
+
 // emitter schedules the child activations a task produces and carries the
 // per-activation accounting: tokens emitted, plus the extra modeled cost
 // of children executed inline by the unlink fast path. One emitter lives
@@ -95,6 +129,8 @@ type emitter struct {
 	depth     int32 // chain depth of the emitting task; children get depth+1
 	emitted   int
 	cost      int64
+	supp      []suppRun
+	suppBuf   [suppInline]suppRun
 }
 
 func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
@@ -106,12 +142,15 @@ func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
 		}
 		if dir == DirLeft && nw.suppressLeft(c) && (em.flt == nil || !em.flt.Filtered(c.ID)) {
 			// Unlink fast path: the child join's right memory is provably
-			// empty, so run its own memory insert/remove inline instead of
-			// scheduling a task. joinLeft re-checks the counter under the
-			// line lock; in the rare relink race the scan still runs and
-			// its matches re-enter this emitter.
+			// empty, so its own memory insert/remove runs on this goroutine
+			// instead of costing a scheduled task. The run is buffered and
+			// executed by drain's loop, never by recursion: executing it
+			// here would turn a dependent chain of suppressed joins into
+			// call-stack depth, and repeatedly growing the fresh worker
+			// goroutines' stacks (runtime.newstack) is what made unlink=true
+			// lose wall-clock on chain-heavy workloads.
 			nw.Stats.NullSuppressed.Add(1)
-			em.cost += nw.joinLeft(c, op, tok, em)
+			em.supp = append(em.supp, suppRun{node: c, tok: tok, op: op})
 			continue
 		}
 		// emitted counts filtered children too, keeping the modeled
@@ -127,6 +166,21 @@ func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
 			continue
 		}
 		em.s.Push(&Task{Node: c, Dir: dir, Op: op, Tok: tok, ParentSeq: em.parentSeq, Depth: em.depth + 1})
+	}
+}
+
+// drain executes pending suppressed left activations until none remain.
+// Each execution may buffer more (joinLeft's emit re-enters for the next
+// join down an empty chain), so this loop is the iterative replacement for
+// the old inline recursion: chain depth becomes buffer length at a fixed
+// stack depth. joinLeft re-checks the right-memory counter under the line
+// lock; in the rare relink race the scan still runs and its matches emit
+// through this same emitter.
+func (em *emitter) drain() {
+	for len(em.supp) > 0 {
+		r := em.supp[len(em.supp)-1]
+		em.supp = em.supp[:len(em.supp)-1]
+		em.cost += em.nw.joinLeft(r.node, r.op, r.tok, em)
 	}
 }
 
@@ -171,13 +225,22 @@ func (nw *Network) leftScanSkip(n *BetaNode) bool {
 	return nw.Opts.Unlink && nw.Mem.LeftCount(n.ID) == 0
 }
 
+// SuppressRight reports whether a right activation of n can be deferred
+// into a suppressed batch: its left memory is provably empty, so the
+// activation carries only its own memory op. Injectors consult this to
+// decide between scheduling a full task and appending a SuppRight entry.
+// Callers must apply any update filter first (as they would before Push).
+func (nw *Network) SuppressRight(n *BetaNode) bool { return nw.suppressRight(n) }
+
 // FilterRight applies the unlink fast path to a right activation arriving
 // from the alpha network: when the destination's left memory is provably
 // empty, the activation runs inline — its own memory insert/remove still
 // happens; only the left scan and the task allocation/scheduling are
 // skipped — and FilterRight returns true. Matches discovered in the rare
 // relink race are scheduled through s. Callers must apply any update
-// filter before calling (as they would before Push).
+// filter before calling (as they would before Push). The parallel
+// injectors batch suppressed activations instead (SuppressRight + a Supp
+// task); this inline path remains for the serial replay.
 func (nw *Network) FilterRight(n *BetaNode, op wme.Op, w *wme.WME, s Scheduler) bool {
 	if !nw.suppressRight(n) {
 		return false
@@ -185,14 +248,34 @@ func (nw *Network) FilterRight(n *BetaNode, op wme.Op, w *wme.WME, s Scheduler) 
 	src, _ := s.(TaskSource)
 	flt, _ := s.(ActivationFilter)
 	em := emitter{nw: nw, s: s, src: src, flt: flt}
+	em.supp = em.suppBuf[:0]
 	nw.Stats.NullSuppressed.Add(1)
 	if n.Kind == KindJoin {
 		nw.joinRight(n, op, w, &em)
 	} else {
 		nw.notRight(n, op, w, &em)
 	}
+	em.drain()
 	nw.Stats.TokensEmitted.Add(int64(em.emitted))
 	return true
+}
+
+// execSuppBatch executes a suppressed-batch task: every entry's own memory
+// op runs, the left scan is skipped exactly when the left memory is still
+// empty under the line lock, and relink-race matches emit through em. Each
+// entry counts toward NullSuppressed — the batch task itself is the only
+// scheduled activation the whole run costs.
+func (nw *Network) execSuppBatch(batch []SuppRight, em *emitter) int64 {
+	var cost int64
+	for _, e := range batch {
+		nw.Stats.NullSuppressed.Add(1)
+		if e.Node.Kind == KindJoin {
+			cost += nw.joinRight(e.Node, e.Op, e.W, em)
+		} else {
+			cost += nw.notRight(e.Node, e.Op, e.W, em)
+		}
+	}
+	return cost
 }
 
 // Exec executes one node activation, pushing child activations onto s.
@@ -203,31 +286,35 @@ func (nw *Network) Exec(t *Task, s Scheduler) int64 {
 	src, _ := s.(TaskSource)
 	flt, _ := s.(ActivationFilter)
 	em := emitter{nw: nw, s: s, src: src, flt: flt, parentSeq: t.Seq, depth: t.Depth}
+	em.supp = em.suppBuf[:0]
 	var cost int64 = CostBetaBase
 
 	n := t.Node
-	switch n.Kind {
-	case KindJoin:
+	switch {
+	case t.Supp != nil:
+		cost += nw.execSuppBatch(t.Supp, &em)
+	case n.Kind == KindJoin:
 		if t.Dir == DirLeft {
 			cost += nw.joinLeft(n, t.Op, t.Tok, &em)
 		} else {
 			cost += nw.joinRight(n, t.Op, t.W, &em)
 		}
-	case KindNot:
+	case n.Kind == KindNot:
 		if t.Dir == DirLeft {
 			cost += nw.notLeft(n, t.Op, t.Tok, &em)
 		} else {
 			cost += nw.notRight(n, t.Op, t.W, &em)
 		}
-	case KindNCC:
+	case n.Kind == KindNCC:
 		cost += nw.execNCC(t, &em)
-	case KindNCCPartner:
+	case n.Kind == KindNCCPartner:
 		cost += nw.execPartner(t, &em)
-	case KindJoinBB:
+	case n.Kind == KindJoinBB:
 		cost += nw.execJoinBB(t, &em)
-	case KindP:
+	case n.Kind == KindP:
 		cost += nw.execP(t)
 	}
+	em.drain()
 	cost += em.cost + int64(em.emitted)*CostEmit
 	nw.Stats.TokensEmitted.Add(int64(em.emitted))
 	if em.emitted == 0 {

@@ -27,58 +27,68 @@ type Mem struct {
 	nc    *nodeCounts
 }
 
+// nodeCount is one node's pair of live-entry counters, padded out to its
+// own cache line. The pair is the unlink fast path's suppression snapshot:
+// both sides of a node live on one line, so a suppression check is one
+// line load, and no other node's insert/remove traffic can invalidate it —
+// with the old packed []atomic.Int32 layout, 16 nodes shared a line and
+// every memory op anywhere bounced the snapshot lines of 15 bystanders.
+type nodeCount struct {
+	left  atomic.Int32
+	right atomic.Int32
+	_     [56]byte
+}
+
 // nodeCounts tracks the number of live (non-tombstone) left and right
 // entries per destination node — the unlinking counters. Tombstone traffic
 // never touches them: a conjugate remove/add pair nets zero live entries,
-// so it nets zero here too. Slots are indexed by NodeID; the slices are
+// so it nets zero here too. Slots are indexed by NodeID; the slice is
 // grown only at quiescence (AddProduction holds the network mutex with no
 // activation in flight), so the match phase reads and updates slots with
 // atomics and never reallocates.
 type nodeCounts struct {
-	left  []atomic.Int32
-	right []atomic.Int32
+	slots []nodeCount
 }
 
 // grow ensures n slots exist. Quiescence only: existing slot values are
 // copied without synchronization against concurrent updates.
 func (c *nodeCounts) grow(n int) {
-	if n <= len(c.left) {
+	if n <= len(c.slots) {
 		return
 	}
-	size := len(c.left) * 2
+	size := len(c.slots) * 2
 	if size < n {
 		size = n
 	}
-	left := make([]atomic.Int32, size)
-	right := make([]atomic.Int32, size)
-	for i := range c.left {
-		left[i].Store(c.left[i].Load())
-		right[i].Store(c.right[i].Load())
+	slots := make([]nodeCount, size)
+	for i := range c.slots {
+		slots[i].left.Store(c.slots[i].left.Load())
+		slots[i].right.Store(c.slots[i].right.Load())
 	}
-	c.left, c.right = left, right
+	c.slots = slots
 }
 
 func (c *nodeCounts) incLeft(id NodeID) {
-	if int(id) < len(c.left) {
-		c.left[id].Add(1)
+	if int(id) < len(c.slots) {
+		c.slots[id].left.Add(1)
 	}
 }
 
 func (c *nodeCounts) decLeft(id NodeID) {
-	if int(id) < len(c.left) {
-		c.left[id].Add(-1)
+	if int(id) < len(c.slots) {
+		c.slots[id].left.Add(-1)
 	}
 }
 
 func (c *nodeCounts) incRight(id NodeID) {
-	if int(id) < len(c.right) {
-		c.right[id].Add(1)
+	if int(id) < len(c.slots) {
+		c.slots[id].right.Add(1)
 	}
 }
 
 func (c *nodeCounts) decRight(id NodeID) {
-	if int(id) < len(c.right) {
-		c.right[id].Add(-1)
+	if int(id) < len(c.slots) {
+		c.slots[id].right.Add(-1)
 	}
 }
 
@@ -93,8 +103,8 @@ func (m *Mem) GrowCounts(n int) { m.nc.grow(n) }
 // prospective match would share sees a count consistent with that line's
 // contents. Unlocked reads are a heuristic (see the unlink fast path).
 func (m *Mem) LeftCount(node NodeID) int32 {
-	if int(node) < len(m.nc.left) {
-		return m.nc.left[node].Load()
+	if int(node) < len(m.nc.slots) {
+		return m.nc.slots[node].left.Load()
 	}
 	return 0
 }
@@ -102,8 +112,8 @@ func (m *Mem) LeftCount(node NodeID) int32 {
 // RightCount returns the number of live right entries (wmes or NCC
 // sub-results) stored at node. Same exactness contract as LeftCount.
 func (m *Mem) RightCount(node NodeID) int32 {
-	if int(node) < len(m.nc.right) {
-		return m.nc.right[node].Load()
+	if int(node) < len(m.nc.slots) {
+		return m.nc.slots[node].right.Load()
 	}
 	return 0
 }
@@ -111,9 +121,9 @@ func (m *Mem) RightCount(node NodeID) int32 {
 // PurgeCounts zeroes node's live-entry counters (excision removes every
 // entry for the node; quiescence only).
 func (m *Mem) PurgeCounts(node NodeID) {
-	if int(node) < len(m.nc.left) {
-		m.nc.left[node].Store(0)
-		m.nc.right[node].Store(0)
+	if int(node) < len(m.nc.slots) {
+		m.nc.slots[node].left.Store(0)
+		m.nc.slots[node].right.Store(0)
 	}
 }
 

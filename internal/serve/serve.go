@@ -53,6 +53,9 @@ type Config struct {
 	// Deadline is the default per-cycle watchdog deadline for sessions
 	// that don't set their own (0 = off).
 	Deadline time.Duration
+	// Unlink overrides left/right unlinking for session engines; nil keeps
+	// the engine default (on).
+	Unlink *bool
 	// Obs receives service metrics (nil disables instrumentation).
 	Obs *obs.Observer
 	// Log receives structured request logs (nil disables request logging).
@@ -194,20 +197,29 @@ type RunRequest struct {
 	// Deadline bounds each cycle for this request only (Go duration
 	// string).
 	Deadline string `json:"deadline,omitempty"`
+	// Deltas, when present, is a wme-change batch ingested as ONE match
+	// cycle — alpha dispatch over the whole batch before beta execution —
+	// ahead of the Cycles recognize-act steps. Program sessions only. With
+	// a batch present Cycles may be 0 (ingest-only request).
+	Deltas []DeltaJSON `json:"deltas,omitempty"`
 }
 
 // RunResult reports a batch of cycles. FirstCycle/LastCycle are the
 // session's cycle indices the batch covered, so log lines and flight dumps
 // can be correlated with a specific request.
 type RunResult struct {
-	Cycles       int      `json:"cycles"`
-	FirstCycle   int      `json:"first_cycle"`
-	LastCycle    int      `json:"last_cycle"`
-	Fired        int      `json:"fired,omitempty"`
-	Tasks        int      `json:"tasks"`
-	Failed       int      `json:"failed"`
-	Recovered    int      `json:"recovered"`
-	Quiesced     bool     `json:"quiesced,omitempty"`
+	Cycles     int  `json:"cycles"`
+	FirstCycle int  `json:"first_cycle"`
+	LastCycle  int  `json:"last_cycle"`
+	Fired      int  `json:"fired,omitempty"`
+	Tasks      int  `json:"tasks"`
+	Failed     int  `json:"failed"`
+	Recovered  int  `json:"recovered"`
+	Quiesced   bool `json:"quiesced,omitempty"`
+	// Added lists the server-assigned wme ids for the adds in the request's
+	// Deltas batch, in batch order; later removes reference them.
+	Added        []uint64 `json:"added,omitempty"`
+	BadDeltas    int      `json:"bad_deltas,omitempty"`
 	Fingerprints []string `json:"fingerprints"`
 }
 
@@ -383,6 +395,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ecfg := engine.DefaultConfig()
+	if s.cfg.Unlink != nil {
+		ecfg.Rete.Unlink = *s.cfg.Unlink
+	}
 	ecfg.Processes = s.cfg.Processes
 	if req.Processes > 0 {
 		ecfg.Processes = req.Processes
@@ -452,9 +467,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
+		frac := float64(len(s.sessions)) / float64(s.cfg.MaxSessions)
 		s.mu.Unlock()
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHint(frac, s.budgetFrac()))
 		writeErr(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
 		return
 	}
@@ -508,7 +524,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, ss *Session, f
 	switch {
 	case err == errBusy:
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		qfrac := 1.0
+		if d := cap(ss.cmds); d > 0 {
+			qfrac = float64(len(ss.cmds)) / float64(d)
+		}
+		w.Header().Set("Retry-After", retryAfterHint(qfrac, s.budgetFrac()))
 		writeErr(w, http.StatusTooManyRequests, "session %s queue full", ss.ID)
 	case err == errGone:
 		writeErr(w, http.StatusGone, "session %s closed", ss.ID)
@@ -537,8 +557,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Cycles <= 0 || req.Cycles > 100000 {
-		writeErr(w, http.StatusBadRequest, "cycles must be in [1, 100000]")
+	// A delta batch counts as the request's one guaranteed cycle, so
+	// ingest-only requests may set cycles to 0.
+	minCycles := 1
+	if len(req.Deltas) > 0 {
+		minCycles = 0
+	}
+	if req.Cycles < minCycles || req.Cycles > 100000 {
+		writeErr(w, http.StatusBadRequest, "cycles must be in [%d, 100000]", minCycles)
 		return
 	}
 	var deadline time.Duration
@@ -552,7 +578,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.dispatch(w, r, ss, func() (any, error) {
 		return ss.withDeadline(deadline, func() (any, error) {
-			res, err := ss.runCycles(req.Cycles, req.Chunking)
+			res, err := ss.run(req.Deltas, req.Cycles, req.Chunking)
 			if res != nil {
 				s.mCycles.Add(uint64(res.Cycles))
 				// The handler goroutine is parked in submit until this
@@ -708,6 +734,38 @@ func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, latest)
+}
+
+// retryAfterHint grades a 429's Retry-After by how loaded the rejecting
+// resources are: each argument is a load fraction (admission-queue depth,
+// session-table fullness, shared-budget occupancy), and the hint scales
+// linearly from 1s at idle to 8s at saturation on the worst of them. A
+// saturated worker budget means queued commands drain slowly, so a longer
+// backoff keeps rejected clients from hammering a server that cannot free
+// capacity quickly.
+func retryAfterHint(fracs ...float64) string {
+	load := 0.0
+	for _, f := range fracs {
+		if f > load {
+			load = f
+		}
+	}
+	if load > 1 {
+		load = 1
+	}
+	if load < 0 {
+		load = 0
+	}
+	return strconv.Itoa(1 + int(7*load+0.5))
+}
+
+// budgetFrac is the shared worker budget's current occupancy in [0, 1].
+func (s *Server) budgetFrac() float64 {
+	c := s.budget.Cap()
+	if c <= 0 {
+		return 0
+	}
+	return float64(s.budget.InUse()) / float64(c)
 }
 
 // RetryAfter parses a 429 response's Retry-After seconds (1 on absence);

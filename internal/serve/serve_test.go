@@ -166,6 +166,88 @@ func TestBadRemoveReportedNotDesynced(t *testing.T) {
 	}
 }
 
+// TestRunIngestsDeltaBatch pins the batched-ingest path: a /run body
+// carrying a delta batch ingests it as ONE match cycle before the driver
+// cycles, returns the assigned wme ids, and an ingest-only request (cycles
+// 0) is valid.
+func TestRunIngestsDeltaBatch(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, Processes: 2})
+	var created CreateResult
+	doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created)
+	base := ts.URL + "/sessions/" + created.ID
+
+	// Ingest-only: three adds land as one cycle, three ids come back.
+	var rres RunResult
+	code, _ := doJSON(t, "POST", base+"/run", RunRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{1}},
+		{Op: "add", Class: "fact", Fields: []any{2}},
+		{Op: "add", Class: "fact", Fields: []any{3}},
+	}}, &rres)
+	if code != http.StatusOK {
+		t.Fatalf("ingest-only run: %d", code)
+	}
+	if rres.Cycles != 1 || len(rres.Added) != 3 || len(rres.Fingerprints) != 1 {
+		t.Fatalf("ingest-only run: %+v", rres)
+	}
+
+	// Ingest + fire in one request: remove one fact, fire the remaining
+	// pending instantiations to quiescence.
+	code, _ = doJSON(t, "POST", base+"/run", RunRequest{
+		Cycles: 10,
+		Deltas: []DeltaJSON{{Op: "remove", ID: rres.Added[0]}},
+	}, &rres)
+	if code != http.StatusOK {
+		t.Fatalf("ingest+run: %d", code)
+	}
+	if rres.Fired != 2 || !rres.Quiesced || rres.BadDeltas != 0 {
+		t.Fatalf("ingest+run: %+v", rres)
+	}
+	// first cycle = the ingest, then the fired steps.
+	if rres.Cycles != 1+rres.Fired {
+		t.Fatalf("ingest+run cycles: %+v", rres)
+	}
+
+	var info SessionInfo
+	doJSON(t, "GET", base, nil, &info)
+	if info.WM != 4 { // 3 facts - 1 removed + 2 seen
+		t.Fatalf("stats after ingest runs: %+v", info)
+	}
+
+	// Without a batch, cycles must still be >= 1.
+	if code, _ := doJSON(t, "POST", base+"/run", RunRequest{Cycles: 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("cycles=0 without deltas: %d", code)
+	}
+	// Driver-owned sessions reject batches, matching /deltas.
+	var cyp CreateResult
+	doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Task: "cypress", Params: cypressParams(5, 4, 2, 3)}, &cyp)
+	code, _ = doJSON(t, "POST", ts.URL+"/sessions/"+cyp.ID+"/run", RunRequest{
+		Cycles: 1, Deltas: []DeltaJSON{{Op: "add", Class: "step"}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("deltas on cypress run: %d", code)
+	}
+}
+
+// TestRetryAfterHint pins the 429 backoff derivation: 1s at idle scaling
+// linearly to 8s at saturation on the worst load fraction.
+func TestRetryAfterHint(t *testing.T) {
+	for _, c := range []struct {
+		fracs []float64
+		want  string
+	}{
+		{[]float64{0, 0}, "1"},
+		{[]float64{0.5, 0}, "5"},  // half-full queue, idle budget
+		{[]float64{0.25, 1}, "8"}, // saturated budget dominates
+		{[]float64{1, 1}, "8"},
+		{[]float64{-1, 2}, "8"}, // fractions clamp to [0, 1]
+		{[]float64{0.1}, "2"},   // rounds, never below 1s
+	} {
+		if got := retryAfterHint(c.fracs...); got != c.want {
+			t.Errorf("retryAfterHint(%v) = %q, want %q", c.fracs, got, c.want)
+		}
+	}
+}
+
 func TestCreateValidation(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	for _, c := range []struct {

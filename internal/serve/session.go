@@ -181,6 +181,51 @@ func (s *Session) runCycles(n int, chunking bool) (*RunResult, error) {
 	return res, nil
 }
 
+// run executes one /run request on the session loop: an optional delta
+// batch ingested as ONE match cycle (the whole batch alpha-dispatched
+// before beta execution, exactly like /deltas), then n recognize-act or
+// driver cycles. Folding both into one request is the batched-ingest fast
+// path: a client streaming wme changes pays one HTTP round trip per batch
+// instead of one per delta plus one per run.
+func (s *Session) run(deltas []DeltaJSON, n int, chunking bool) (*RunResult, error) {
+	res := &RunResult{FirstCycle: s.cycles, LastCycle: s.cycles}
+	if len(deltas) > 0 {
+		dr, err := s.applyDeltas(deltas)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles++
+		res.LastCycle = s.cycles - 1
+		res.Tasks += dr.Tasks
+		if dr.Failed {
+			res.Failed++
+		}
+		if dr.Recovered {
+			res.Recovered++
+		}
+		res.Added = dr.Added
+		res.BadDeltas = dr.BadDeltas
+		res.Fingerprints = append(res.Fingerprints, dr.Fingerprint)
+	}
+	if n == 0 {
+		return res, nil
+	}
+	rr, err := s.runCycles(n, chunking)
+	if rr != nil {
+		res.Cycles += rr.Cycles
+		if rr.Cycles > 0 {
+			res.LastCycle = rr.LastCycle
+		}
+		res.Fired = rr.Fired
+		res.Tasks += rr.Tasks
+		res.Failed += rr.Failed
+		res.Recovered += rr.Recovered
+		res.Quiesced = rr.Quiesced
+		res.Fingerprints = append(res.Fingerprints, rr.Fingerprints...)
+	}
+	return res, err
+}
+
 // applyDeltas converts the wire-format deltas and runs them through one
 // match cycle. Added wmes get server-assigned ids (returned in order) that
 // later removes reference. Bad deltas — unknown remove ids included — are
