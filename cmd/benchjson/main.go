@@ -18,6 +18,9 @@
 // same intra-run treatment: unlink=true may not cost more than
 // -unlink-tolerance (5%) in ns/op over its unlink=false twin on any
 // task/policy, so the default-on flip can't silently regress wall-clock.
+// The durability benches add a third intra-run gate: WALIngest with the
+// write-ahead journal on may not cost more than -wal-tolerance (10%) in
+// ns/op over the journal-off twin.
 //
 // Usage:
 //
@@ -25,6 +28,7 @@
 //	          [-match regexp] [-figures=false] [-serving=false]
 //	          [-profiling=false] [-prof-tolerance 0.05]
 //	          [-unlink-gate=false] [-unlink-tolerance 0.05]
+//	          [-durability=false] [-wal-gate=false] [-wal-tolerance 0.10]
 package main
 
 import (
@@ -250,6 +254,57 @@ func unlinkGate(cases []benchkit.Case, results []result, tol float64) []string {
 	return fails
 }
 
+// walGate enforces the intra-run write-ahead-journal budget: the
+// WALIngest wal=on result may not exceed its wal=off twin by more than
+// tol in ns/op — the fsync'd append on every mutating request has to
+// stay a bounded tax on ingest, or durability quietly eats the serving
+// throughput the rest of the suite defends. Same re-measure-keep-best
+// retry as the other intra-run gates.
+func walGate(cases []benchkit.Case, results []result, tol float64) []string {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	bench := map[string]func(b *testing.B){}
+	for _, c := range cases {
+		bench[c.Name] = c.Bench
+	}
+	var fails []string
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, "/wal=on") {
+			continue
+		}
+		offName := strings.TrimSuffix(r.Name, "/wal=on") + "/wal=off"
+		off, ok := byName[offName]
+		if !ok || off <= 0 {
+			continue
+		}
+		on := r.NsPerOp
+		if on/off-1 > tol {
+			fmt.Fprintf(os.Stderr, "benchjson: %s over budget on first measurement (+%.1f%%), re-measuring the pair\n",
+				r.Name, 100*(on/off-1))
+			if b, ok := bench[offName]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < off {
+					off = v
+				}
+			}
+			if b, ok := bench[r.Name]; ok {
+				if v := float64(testing.Benchmark(b).NsPerOp()); v < on {
+					on = v
+				}
+			}
+		}
+		if growth := on/off - 1; growth > tol {
+			fails = append(fails, fmt.Sprintf("%s: wal=on costs %.0f vs %.0f ns/op (+%.1f%%, budget %.0f%%)",
+				r.Name, on, off, 100*growth, 100*tol))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: WAL ingest overhead %+.1f%% (budget %.0f%%)\n",
+				r.Name, 100*growth, 100*tol)
+		}
+	}
+	return fails
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default BENCH_<git-short-sha>.json)")
 	basePath := flag.String("baseline", "", "baseline JSON to gate against; exit nonzero on regression")
@@ -261,6 +316,9 @@ func main() {
 	profTol := flag.Float64("prof-tolerance", 0.05, "allowed fractional ns/op overhead of profiling-on vs profiling-off")
 	unlinkCheck := flag.Bool("unlink-gate", true, "gate every <task>/<policy> unlink=true/false pair intra-run on ns/op")
 	unlinkTol := flag.Float64("unlink-tolerance", 0.05, "allowed fractional ns/op cost of unlink=true vs unlink=false")
+	durability := flag.Bool("durability", true, "include the snapshot-restore and WAL-ingest durability benches")
+	walCheck := flag.Bool("wal-gate", true, "gate the WALIngest wal=on/wal=off pair intra-run on ns/op")
+	walTol := flag.Float64("wal-tolerance", 0.10, "allowed fractional ns/op cost of the write-ahead journal on the ingest path")
 	strict := flag.Bool("strict", false, "with -baseline: fail on any current<->baseline name mismatch instead of skipping")
 	flag.Parse()
 
@@ -282,6 +340,9 @@ func main() {
 	}
 	if *profiling {
 		cases = append(cases, benchkit.ProfilingCases()...)
+	}
+	if *durability {
+		cases = append(cases, benchkit.DurabilityCases()...)
 	}
 	f := benchFile{
 		SHA:        gitShortSHA(),
@@ -322,6 +383,16 @@ func main() {
 	if *unlinkCheck {
 		if fails := unlinkGate(cases, f.Benchmarks, *unlinkTol); len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d unlink wall-clock failure(s):\n", len(fails))
+			for _, s := range fails {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *walCheck {
+		if fails := walGate(cases, f.Benchmarks, *walTol); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d WAL-overhead failure(s):\n", len(fails))
 			for _, s := range fails {
 				fmt.Fprintln(os.Stderr, "  "+s)
 			}

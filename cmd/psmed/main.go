@@ -14,10 +14,18 @@
 // requests (503), finishes every cycle already accepted, flushes the obs
 // sinks, and exits 0. A second signal force-exits.
 //
+// With -data DIR sessions are durable (DESIGN §10): every session keeps a
+// snapshot image plus a write-ahead delta journal under DIR/<id>/, serves
+// POST /sessions/{id}/snapshot and /restore, and a drain writes a final
+// snapshot so a restart resumes with zero WAL replay. -kill-after N arms
+// a fault-injection kill switch that SIGKILLs the process after N
+// requests — the crash the durability layer must absorb.
+//
 // Usage:
 //
 //	psmed [-addr :8740] [-workers N] [-procs N] [-policy work-stealing]
 //	      [-queue-depth 4] [-max-sessions 64] [-deadline 0] [-unlink]
+//	      [-data DIR] [-kill-after 0]
 //	      [-trace out.json] [-metrics out.txt] [-listen :6060]
 //	      [-drain-timeout 30s] [-log-json] [-quiet]
 //	      [-flight-dir DIR] [-flight-cycles 16] [-slo 0] [-sample-every 64]
@@ -63,6 +71,8 @@ func main() {
 	sampleEvery := flag.Int("sample-every", 64, "wall-clock sample one match task in N (power of two)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed deterministic fault injection into every session's match workers (0 = off)")
 	faultPanic := flag.Int("fault-panic", -1, "override the injected panic rate per 65536 exec visits (-1 = default schedule)")
+	dataDir := flag.String("data", "", "durable session state directory: per-session snapshot image + write-ahead delta journal, enabling /snapshot, /restore, and drain-to-snapshot on SIGTERM")
+	killAfter := flag.Int64("kill-after", 0, "fault injection: self-SIGKILL after serving N requests — no drain, no snapshot (0 = off; pairs with -data to exercise crash restore)")
 	flag.Parse()
 
 	pol, err := prun.ParsePolicy(*policy)
@@ -109,6 +119,7 @@ func main() {
 		Obs:         observer,
 		Log:         logger,
 		Fault:       inj,
+		DataDir:     *dataDir,
 		Prof: &matchprof.Options{
 			SampleEvery:  *sampleEvery,
 			FlightCycles: *flightCycles,
@@ -116,7 +127,21 @@ func main() {
 			SLO:          *slo,
 		},
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if ks := fault.NewKillSwitch(*killAfter); ks != nil {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(w, r)
+			// Tick after the response: the Nth request is answered, then the
+			// process dies mid-fleet — the deterministic crash CI's
+			// failover-smoke leg keys off.
+			if r.URL.Path != "/healthz" {
+				ks.Tick()
+			}
+		})
+		fmt.Fprintf(os.Stderr, ";; psmed: kill switch armed: SIGKILL after %d requests\n", *killAfter)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()

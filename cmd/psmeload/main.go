@@ -18,12 +18,19 @@
 // for, and the exit status is nonzero on lost cycles or fingerprint
 // divergence — CI's serve-smoke leg keys off it.
 //
+// With -cluster the target is a psmegw-fronted fleet: transport errors
+// and 502/503/504 (the failover window while a dead backend's sessions
+// restore from their durable image+WAL) are retried, and every /run
+// carries a Seq so retries are exactly-once. CI's failover-smoke leg
+// kills a backend mid-run and still demands a zero exit, all cycles
+// accounted, all fingerprints byte-identical.
+//
 // Usage:
 //
 //	psmeload [-addr http://127.0.0.1:8740] [-sessions 8] [-cycles 60]
 //	         [-batch 10] [-chunking] [-policy work-stealing]
 //	         [-productions 60] [-chunks 6] [-seed 17] [-verify]
-//	         [-ingest] [-deltas 480]
+//	         [-ingest] [-deltas 480] [-cluster]
 package main
 
 import (
@@ -41,6 +48,13 @@ import (
 	"soarpsme/internal/tasks/cypress"
 )
 
+// clusterMode (the -cluster flag) makes call treat the target as a
+// psmegw-fronted fleet: transport errors and 502/503/504 — the failover
+// window while a dead backend's sessions restore elsewhere — are retried
+// instead of fatal. Run requests carry a Seq, so a retry that straddles a
+// backend death is answered exactly once from the restored session.
+var clusterMode bool
+
 func call(method, url string, body, out any) error {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -57,14 +71,29 @@ func call(method, url string, body, out any) error {
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
+			if clusterMode && attempt < 100 {
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
 			return err
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
+			if clusterMode && attempt < 100 {
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
 			return err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			time.Sleep(serve.RetryAfter(resp))
+			continue
+		}
+		if clusterMode && attempt < 100 &&
+			(resp.StatusCode == http.StatusBadGateway ||
+				resp.StatusCode == http.StatusServiceUnavailable ||
+				resp.StatusCode == http.StatusGatewayTimeout) {
 			time.Sleep(serve.RetryAfter(resp))
 			continue
 		}
@@ -107,7 +136,7 @@ func driveIngestSession(addr, policy string, script [][]serve.IngestOp, baseline
 			return rep
 		}
 		var res serve.RunResult
-		if err := call("POST", base+"/run", serve.RunRequest{Deltas: batch}, &res); err != nil {
+		if err := call("POST", base+"/run", serve.RunRequest{Deltas: batch, Seq: int64(cyc) + 1}, &res); err != nil {
 			rep.err = fmt.Errorf("ingest cycle %d: %w", cyc, err)
 			return rep
 		}
@@ -144,13 +173,15 @@ func driveSession(addr string, p cypress.Params, policy string, cycles, batch in
 	}
 	base := addr + "/sessions/" + created.ID
 	var fps []string
+	var seq int64
 	for rep.cycles < cycles {
 		n := batch
 		if rem := cycles - rep.cycles; rem < n {
 			n = rem
 		}
 		var res serve.RunResult
-		if err := call("POST", base+"/run", serve.RunRequest{Cycles: n, Chunking: chunking}, &res); err != nil {
+		seq++
+		if err := call("POST", base+"/run", serve.RunRequest{Cycles: n, Chunking: chunking, Seq: seq}, &res); err != nil {
 			rep.err = fmt.Errorf("run after %d cycles: %w", rep.cycles, err)
 			return rep
 		}
@@ -187,7 +218,9 @@ func main() {
 	verify := flag.Bool("verify", true, "verify per-cycle fingerprints against an in-process solo serial run")
 	ingest := flag.Bool("ingest", false, "drive program sessions with client-side delta batches via /run (-batch deltas = one match cycle) instead of server-side cypress cycles")
 	deltas := flag.Int("deltas", 480, "ingest mode: wme deltas per session (the stream is fixed; -batch only changes how many ride one request)")
+	cluster := flag.Bool("cluster", false, "target is a psmegw-fronted fleet: retry transport errors and 502/503/504 (the failover window); Seq-tagged requests make retries exactly-once")
 	flag.Parse()
+	clusterMode = *cluster
 
 	if *ingest {
 		runIngest(*addr, *policy, *sessions, *deltas, *batch, *verify)

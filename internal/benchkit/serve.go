@@ -119,14 +119,22 @@ func serveBench(sessions, cycles int, pol prun.Policy) func(b *testing.B) {
 // request ingested as one match cycle. Because the stream is identical at
 // every batch size, deltas/sec — the sustained ingest bandwidth — is the
 // headline, with cycles/sec alongside as the request-overhead view.
-func serveIngestBench(sessions, deltas, batch int, pol prun.Policy) func(b *testing.B) {
+// With durable set the server journals every /run into a per-session
+// fsync'd write-ahead log (serve.Config.DataDir) — the WALIngest pair
+// measures exactly that overhead, gated intra-run by benchjson -wal-gate.
+func serveIngestBench(sessions, deltas, batch int, pol prun.Policy, durable bool) func(b *testing.B) {
 	return func(b *testing.B) {
+		dataDir := ""
+		if durable {
+			dataDir = b.TempDir()
+		}
 		srv := serve.New(serve.Config{
 			Processes:   2,
 			Policy:      pol,
 			QueueDepth:  8,
 			MaxSessions: 2 * sessions,
 			Obs:         obs.New(),
+			DataDir:     dataDir,
 		})
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
@@ -183,7 +191,7 @@ func ServeCases() []Case {
 	return []Case{
 		{Name: "Serve/4x30/work-stealing", Bench: serveBench(4, 30, prun.WorkStealing)},
 		{Name: "Serve/4x30/single-queue", Bench: serveBench(4, 30, prun.SingleQueue)},
-		{Name: "ServeIngest/4x480/batch=1", Bench: serveIngestBench(4, 480, 1, prun.WorkStealing)},
-		{Name: "ServeIngest/4x480/batch=8", Bench: serveIngestBench(4, 480, 8, prun.WorkStealing)},
+		{Name: "ServeIngest/4x480/batch=1", Bench: serveIngestBench(4, 480, 1, prun.WorkStealing, false)},
+		{Name: "ServeIngest/4x480/batch=8", Bench: serveIngestBench(4, 480, 8, prun.WorkStealing, false)},
 	}
 }

@@ -7,6 +7,7 @@
 package conflict
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -50,6 +51,14 @@ func ParseStrategy(s string) Strategy {
 		return MEA
 	}
 	return LEX
+}
+
+// String returns the ops5 source form (the inverse of ParseStrategy).
+func (s Strategy) String() string {
+	if s == MEA {
+		return "mea"
+	}
+	return "lex"
 }
 
 type instKey struct {
@@ -315,6 +324,96 @@ func (s *Set) matchOut(m map[instKey][]*Instantiation, k instKey, t *rete.Token)
 		}
 	}
 	return nil
+}
+
+// FiredEntry is one refraction record in portable form: the production
+// name plus the time tags of the matched wmes in CE order. Every fired
+// token corresponds to a live instantiation (Retract clears refraction),
+// so the pair identifies the instantiation uniquely on any engine whose
+// working memory carries the same time tags.
+type FiredEntry struct {
+	Prod string   `json:"prod"`
+	Tags []uint64 `json:"tags"`
+}
+
+// ExportFired returns the refraction memory as portable entries, sorted
+// (production name, then tags) for deterministic snapshots.
+func (s *Set) ExportFired() []FiredEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []FiredEntry
+	for k, toks := range s.fired {
+		for _, t := range toks {
+			ws := t.WMEs()
+			tags := make([]uint64, len(ws))
+			for i, w := range ws {
+				tags[i] = w.TimeTag
+			}
+			out = append(out, FiredEntry{Prod: k.prod.Name, Tags: tags})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prod != out[j].Prod {
+			return out[i].Prod < out[j].Prod
+		}
+		a, b := out[i].Tags, out[j].Tags
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// RestoreFired rebuilds the refraction memory from exported entries by
+// matching them against the live instantiations (which a snapshot restore
+// re-derives via serial replay before calling this). An entry with no
+// live counterpart means the snapshot is inconsistent.
+func (s *Set) RestoreFired(entries []FiredEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		found := false
+	scan:
+		for k, list := range s.insts {
+			if k.prod.Name != e.Prod {
+				continue
+			}
+			for _, in := range list {
+				if len(in.WMEs) != len(e.Tags) {
+					continue
+				}
+				match := true
+				for i, w := range in.WMEs {
+					if w.TimeTag != e.Tags[i] {
+						match = false
+						break
+					}
+				}
+				if !match || s.isFired(k, in.Tok) {
+					continue
+				}
+				s.fired[k] = append(s.fired[k], in.Tok)
+				found = true
+				break scan
+			}
+		}
+		if !found {
+			return fmt.Errorf("conflict: refraction entry %s %v has no live instantiation", e.Prod, e.Tags)
+		}
+	}
+	return nil
+}
+
+// ResetJournal clears the added/retracted journal without touching the
+// live set or refraction memory. A snapshot restore calls it after serial
+// replay so the rebuilt matches are not re-reported by the next Drain.
+func (s *Set) ResetJournal() {
+	s.mu.Lock()
+	s.added, s.retracted = nil, nil
+	s.mu.Unlock()
 }
 
 // Select applies conflict resolution: refraction, then the strategy's

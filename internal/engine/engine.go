@@ -242,6 +242,31 @@ func (e *Engine) Halted() bool { return e.halted }
 // Strategy returns the loaded conflict-resolution strategy.
 func (e *Engine) Strategy() conflict.Strategy { return e.strategy }
 
+// SetHalted forces the halt flag; snapshot restore uses it to reproduce a
+// session that had executed (halt).
+func (e *Engine) SetHalted(h bool) { e.halted = h }
+
+// Gensym returns the (gensym) counter, for snapshot export.
+func (e *Engine) Gensym() int64 { return e.gensym }
+
+// SetGensym restores the (gensym) counter so a restored engine keeps
+// generating fresh symbols.
+func (e *Engine) SetGensym(n int64) { e.gensym = n }
+
+// RebuildMatchState re-derives all match state — token memories, conflict
+// set, unlink counters — from the current working memory by a serial
+// replay through the network (the paper's run-time state-update machinery
+// used as a migration primitive). Intended for a freshly loaded engine
+// whose conflict set is empty; the journal is cleared afterwards so the
+// rebuilt matches are not re-reported as fresh adds, and refraction is
+// left for the caller to restore.
+func (e *Engine) RebuildMatchState() prun.CycleStats {
+	e.NW.ResetMatchState()
+	cs := e.RT.ReplaySerial(e.WM.All())
+	e.CS.ResetJournal()
+	return cs
+}
+
 // LoadProgram parses and compiles an OPS5 source file: literalize
 // declarations, productions (built into the network before any wme
 // exists, so no state update is needed) and startup actions, which are

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"soarpsme/internal/snapshot"
+	"soarpsme/internal/tasks/cypress"
+)
+
+// Durability model (DESIGN §10): with Config.DataDir set, every session
+// owns a directory <data>/<id>/ holding
+//
+//	image.json — the last snapshot (versioned, checksummed; written
+//	             atomically via tmp+rename at create, on demand, and at
+//	             drain), and
+//	wal.jsonl  — the write-ahead delta journal: one CRC-framed record per
+//	             mutating request, written BEFORE the request executes
+//	             and fdatasync'd before the response is acknowledged,
+//	             with the flush overlapped under the request's own
+//	             execution (see store.append).
+//
+// A snapshot truncates the WAL (rename first, truncate second — a crash
+// between the two leaves stale WAL records that restore skips by cycle
+// index). Restore = decode image, rebuild match state by serial replay,
+// re-execute every WAL record past the snapshot. The write-ahead ordering
+// bounds loss at the in-flight cycle: a request that never reached the
+// journal was never acknowledged.
+
+// walCRCTable frames WAL records with CRC32-Castagnoli so a torn tail
+// (crash mid-append) is detected and discarded instead of replayed.
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one journalled mutating request. Cycle is the session
+// cycle count before execution; restore uses it to skip records already
+// covered by the snapshot.
+type walRecord struct {
+	Seq   int64       `json:"seq,omitempty"`
+	Cycle int         `json:"cycle"`
+	Run   *RunRequest `json:"run"`
+}
+
+// walLine is the on-disk frame: the record's raw JSON plus its checksum.
+type walLine struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// store is one session's durable state on disk. Each session owns its
+// journal file and fdatasyncs it per append: a shared cross-session
+// group committer (syncfs absorption) was tried here and measured WORSE
+// than per-file barriers under real ingest load — sessions execute
+// serially on the CPU, so their barriers almost never align (absorption
+// ratio ~1), and syncfs pays for every dirty page on the filesystem
+// while fdatasync flushes only the journal.
+type store struct {
+	dir string
+	wal *os.File
+}
+
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &store{dir: dir, wal: f}, nil
+}
+
+// syncFileAsync starts the durability barrier for everything already
+// written to f and returns a receive function, so the caller can
+// overlap work with the disk flush.
+func (st *store) syncFileAsync(f *os.File) func() error {
+	ch := make(chan error, 1)
+	go func() { ch <- fdatasync(f) }()
+	// Yield so the barrier goroutine (in the runnext slot) enters the
+	// syscall NOW: on a single-P runtime it would otherwise sit runnable
+	// while the caller's cycle monopolizes the CPU, serializing flush
+	// after execution instead of under it.
+	runtime.Gosched()
+	return func() error { return <-ch }
+}
+
+func (st *store) imagePath() string { return filepath.Join(st.dir, "image.json") }
+
+// append journals one record and starts its durability barrier,
+// returning the bytes written and the barrier's outcome channel. The
+// record is written BEFORE the caller executes the request (write-ahead),
+// but the barrier may be received after execution and before the ACK —
+// overlapping the flush with the cycle. That weakens nothing: a crash in
+// the overlap window loses in-memory state along with the maybe-durable
+// record, the request was never acknowledged, and restore + Seq
+// idempotency make the client's retry exactly-once either way (replayed
+// record → cached result; torn record → re-executed).
+func (st *store) append(rec walRecord) (int, func() error, error) {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return 0, nil, err
+	}
+	line, err := json.Marshal(walLine{CRC: crc32.Checksum(raw, walCRCTable), Rec: raw})
+	if err != nil {
+		return 0, nil, err
+	}
+	line = append(line, '\n')
+	if _, err := st.wal.Write(line); err != nil {
+		return 0, nil, err
+	}
+	return len(line), st.syncFileAsync(st.wal), nil
+}
+
+// writeImage atomically replaces the snapshot, then truncates the WAL:
+// every journalled record is now baked into the image. Returns the image
+// size in bytes.
+func (st *store) writeImage(data []byte) (int, error) {
+	tmp := st.imagePath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := fdatasync(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, st.imagePath()); err != nil {
+		return 0, err
+	}
+	if err := st.wal.Truncate(0); err != nil {
+		return 0, err
+	}
+	if _, err := st.wal.Seek(0, 0); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// readWAL decodes the journal, stopping silently at the first torn or
+// corrupt line (a crash mid-append leaves at most one).
+func readWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []walRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		var line walLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			break // torn tail
+		}
+		if crc32.Checksum(line.Rec, walCRCTable) != line.CRC {
+			break // corrupt tail
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line.Rec, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+func (st *store) close() {
+	if st != nil && st.wal != nil {
+		st.wal.Close()
+	}
+}
+
+// SessionImage is the durable form of one session: its creation request
+// (engine configuration and task parameters), progress counters, the
+// idempotency watermark, and the engine image. Cypress sessions also
+// carry the workload driver's state so the restored session produces the
+// identical remaining batch sequence.
+type SessionImage struct {
+	ID         string               `json:"id"`
+	Task       string               `json:"task"`
+	Created    string               `json:"created"`
+	Create     CreateRequest        `json:"create"`
+	Cycles     int                  `json:"cycles"`
+	Chunks     int                  `json:"chunks"`
+	NextChunk  int                  `json:"nextChunk"`
+	LastSeq    int64                `json:"lastSeq,omitempty"`
+	LastResult *RunResult           `json:"lastResult,omitempty"`
+	Engine     *snapshot.Image      `json:"engine"`
+	Driver     *cypress.DriverState `json:"driver,omitempty"`
+}
+
+// SnapshotResult answers POST /sessions/{id}/snapshot.
+type SnapshotResult struct {
+	ID     string `json:"id"`
+	Cycles int    `json:"cycles"`
+	Bytes  int    `json:"bytes"`
+}
+
+// RestoreResult answers POST /sessions/{id}/restore.
+type RestoreResult struct {
+	ID       string  `json:"id"`
+	Task     string  `json:"task"`
+	Cycles   int     `json:"cycles"`   // session cycle count after restore
+	Replayed int     `json:"replayed"` // WAL records re-executed
+	Seconds  float64 `json:"seconds"`
+}
+
+// saveSnapshot exports the session into its store and truncates the WAL.
+// It must run with exclusive engine access: on the session loop, or after
+// the loop has exited (drain).
+func (s *Session) saveSnapshot() (*SnapshotResult, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("serve: session %s is not durable (no data dir)", s.ID)
+	}
+	img := &SessionImage{
+		ID:         s.ID,
+		Task:       s.Task,
+		Created:    s.Created.UTC().Format(time.RFC3339Nano),
+		Create:     s.create,
+		Cycles:     s.cycles,
+		Chunks:     s.chunks,
+		NextChunk:  s.nextChunk,
+		LastSeq:    s.lastSeq,
+		LastResult: s.lastRes,
+		Engine:     snapshot.Export(s.eng),
+	}
+	if s.drv != nil {
+		img.Driver = s.drv.State()
+	}
+	data, err := snapshot.Seal(img)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.store.writeImage(data)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotResult{ID: s.ID, Cycles: s.cycles, Bytes: n}, nil
+}
+
+// persistCreate writes the genesis snapshot and opens the WAL for a newly
+// created session. Called before the session is registered, so a session
+// that was ever visible to clients always has an image on disk.
+func (s *Server) persistCreate(ss *Session) error {
+	st, err := openStore(filepath.Join(s.cfg.DataDir, ss.ID))
+	if err != nil {
+		return err
+	}
+	ss.store = st
+	res, err := ss.saveSnapshot()
+	if err != nil {
+		st.close()
+		ss.store = nil
+		return err
+	}
+	s.mSnapshots.Inc()
+	s.mSnapBytes.Add(uint64(res.Bytes))
+	return nil
+}
+
+// restoreSession rebuilds a session from its on-disk image plus WAL and
+// registers it. Returns (result, status, error); status is an HTTP code
+// for the handler (409 live/in-progress, 404 no image, 500 otherwise).
+func (s *Server) restoreSession(id string) (*RestoreResult, int, error) {
+	if s.cfg.DataDir == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("server has no data dir")
+	}
+	// A restore target must not be live: restoring into a running session
+	// would race its command loop. The restoring set also serializes
+	// concurrent restores of the same id.
+	s.mu.Lock()
+	if s.sessions[id] != nil {
+		s.mu.Unlock()
+		return nil, http.StatusConflict, fmt.Errorf("session %s is live", id)
+	}
+	if s.restoring[id] {
+		s.mu.Unlock()
+		return nil, http.StatusConflict, fmt.Errorf("session %s restore already in progress", id)
+	}
+	s.restoring[id] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.restoring, id)
+		s.mu.Unlock()
+	}()
+
+	start := time.Now()
+	ss, replayed, err := s.rebuildSession(id)
+	if err != nil {
+		s.mRestoreFailed.Inc()
+		if ss != nil && ss.eng != nil {
+			// Evidence for the post-mortem: dump the flight recorder with
+			// the failure reason (lands in -flight-dir when configured).
+			ss.eng.Prof.Trip(fmt.Sprintf("restore of session %s failed: %v", id, err))
+		}
+		code := http.StatusInternalServerError
+		if os.IsNotExist(err) {
+			code = http.StatusNotFound
+		}
+		return nil, code, err
+	}
+
+	s.mu.Lock()
+	if s.sessions[id] != nil {
+		s.mu.Unlock()
+		ss.store.close()
+		return nil, http.StatusConflict, fmt.Errorf("session %s became live during restore", id)
+	}
+	s.sessions[id] = ss
+	s.mSessions.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	ss.eng.Prof.SetSession(ss.ID)
+	go ss.loop()
+
+	d := time.Since(start)
+	s.mRestored.Inc()
+	s.mRestoreSecs.Observe(d.Seconds())
+	s.mReplayed.Add(uint64(replayed))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("session restored", "session", id, "task", ss.Task,
+			"cycles", ss.cycles, "replayed", replayed, "dur", d)
+	}
+	return &RestoreResult{ID: id, Task: ss.Task, Cycles: ss.cycles,
+		Replayed: replayed, Seconds: d.Seconds()}, http.StatusOK, nil
+}
+
+// rebuildSession does the heavy lifting of restoreSession: decode the
+// image, rebuild the engine by serial replay, resurrect task state, and
+// re-execute the WAL suffix. The returned session is not yet registered.
+func (s *Server) rebuildSession(id string) (*Session, int, error) {
+	dir := filepath.Join(s.cfg.DataDir, id)
+	data, err := os.ReadFile(filepath.Join(dir, "image.json"))
+	if err != nil {
+		return nil, 0, err
+	}
+	var img SessionImage
+	if err := snapshot.Open(data, &img); err != nil {
+		return nil, 0, err
+	}
+	if img.ID != id {
+		return nil, 0, fmt.Errorf("serve: image in %s is for session %q", dir, img.ID)
+	}
+	ecfg, err := s.engineConfig(&img.Create)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := snapshot.Restore(img.Engine, ecfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	created, err := time.Parse(time.RFC3339Nano, img.Created)
+	if err != nil {
+		created = time.Now()
+	}
+	ss := &Session{
+		ID:        id,
+		Task:      img.Task,
+		Created:   created,
+		create:    img.Create,
+		srv:       s,
+		eng:       eng,
+		cycles:    img.Cycles,
+		chunks:    img.Chunks,
+		nextChunk: img.NextChunk,
+		lastSeq:   img.LastSeq,
+		lastRes:   img.LastResult,
+		cmds:      make(chan command, s.cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if img.Task == "cypress" {
+		var p cypress.Params
+		if img.Create.Params != nil {
+			p = *img.Create.Params
+		}
+		ss.sys = cypress.Generate(p)
+		if img.Driver == nil {
+			return ss, 0, fmt.Errorf("serve: cypress image for %s has no driver state", id)
+		}
+		drv, err := cypress.RestoreDriver(ss.sys, eng.Tab, eng.WM, img.Driver)
+		if err != nil {
+			return ss, 0, err
+		}
+		ss.drv = drv
+	}
+
+	// Re-execute the journal suffix. Records at a cycle index the snapshot
+	// already covers are skipped (a crash between image rename and WAL
+	// truncation leaves them behind); a gap means a missing record and the
+	// restore must fail rather than silently diverge.
+	recs, err := readWAL(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		return ss, 0, err
+	}
+	replayed := 0
+	ss.replaying = true
+	for _, rec := range recs {
+		if rec.Cycle < ss.cycles {
+			continue
+		}
+		if rec.Cycle > ss.cycles {
+			ss.replaying = false
+			return ss, replayed, fmt.Errorf("serve: WAL gap for %s: record at cycle %d, session at %d", id, rec.Cycle, ss.cycles)
+		}
+		if rec.Run == nil {
+			ss.replaying = false
+			return ss, replayed, fmt.Errorf("serve: WAL record for %s at cycle %d has no request", id, rec.Cycle)
+		}
+		// Replay errors mirror the original execution: a request that
+		// failed validation then fails identically now, leaving the same
+		// state; the journal stays the source of truth.
+		rec.Run.Seq = rec.Seq
+		ss.runLogged(rec.Run)
+		replayed++
+	}
+	ss.replaying = false
+
+	st, err := openStore(dir)
+	if err != nil {
+		return ss, replayed, err
+	}
+	ss.store = st
+	return ss, replayed, nil
+}
+
+// deleteDurable removes a deleted session's on-disk state.
+func (s *Session) deleteDurable() error {
+	if s.store == nil {
+		return nil
+	}
+	s.store.close()
+	return os.RemoveAll(s.store.dir)
+}

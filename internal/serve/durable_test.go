@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// crashableServer boots a durable server whose Close is NOT registered as
+// cleanup: tests "crash" it by closing only the listener, leaving the
+// on-disk state exactly as a killed process would.
+func crashableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2, Processes: 2, DataDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// seedSession creates a durable program session and pushes some state into
+// it: one delta batch and one run to quiescence, both WAL-journalled.
+func seedSession(t *testing.T, url, id string) {
+	t.Helper()
+	var created CreateResult
+	if code, _ := doJSON(t, "POST", url+"/sessions", CreateRequest{ID: id, Program: serveProgSrc}, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if created.ID != id {
+		t.Fatalf("create: got id %q, want %q", created.ID, id)
+	}
+	var dres DeltaResult
+	if code, _ := doJSON(t, "POST", url+"/sessions/"+id+"/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{1}},
+		{Op: "add", Class: "fact", Fields: []any{2}},
+	}}, &dres); code != http.StatusOK || dres.Failed {
+		t.Fatalf("deltas: code=%d %+v", code, dres)
+	}
+	var rres RunResult
+	if code, _ := doJSON(t, "POST", url+"/sessions/"+id+"/run", RunRequest{Cycles: 10, Seq: 1}, &rres); code != http.StatusOK || rres.Fired != 2 {
+		t.Fatalf("run: code=%d %+v", code, rres)
+	}
+}
+
+// sessionState fetches the stats and conflict-set fingerprint of a session.
+func sessionState(t *testing.T, url, id string) (SessionInfo, string) {
+	t.Helper()
+	var info SessionInfo
+	if code, _ := doJSON(t, "GET", url+"/sessions/"+id, nil, &info); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var cs struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if code, _ := doJSON(t, "GET", url+"/sessions/"+id+"/conflict-set", nil, &cs); code != http.StatusOK {
+		t.Fatalf("conflict-set: %d", code)
+	}
+	return info, cs.Fingerprint
+}
+
+// TestRestoreAfterCrash is the headline durability property: kill a
+// backend without any drain, restore the session elsewhere from
+// image+WAL, and the restored session is byte-identical and still serves.
+func TestRestoreAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := crashableServer(t, dir)
+	seedSession(t, tsA.URL, "dur1")
+	wantInfo, wantFp := sessionState(t, tsA.URL, "dur1")
+	tsA.Close() // crash: no drain, no snapshot
+
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	var rr RestoreResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/dur1/restore", nil, &rr); code != http.StatusOK {
+		t.Fatalf("restore: %d", code)
+	}
+	// Genesis image holds the empty session; the delta batch and the run
+	// are both replayed from the WAL.
+	if rr.Replayed != 2 {
+		t.Fatalf("restore replayed %d records, want 2 (%+v)", rr.Replayed, rr)
+	}
+	gotInfo, gotFp := sessionState(t, tsB.URL, "dur1")
+	if gotFp != wantFp {
+		t.Fatalf("fingerprint after restore\n got %s\nwant %s", gotFp, wantFp)
+	}
+	if gotInfo.Cycles != wantInfo.Cycles || gotInfo.Fired != wantInfo.Fired ||
+		gotInfo.WM != wantInfo.WM || gotInfo.Conflict != wantInfo.Conflict {
+		t.Fatalf("stats after restore\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+
+	// The restored session keeps serving — and keeps journalling.
+	var dres DeltaResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/dur1/deltas", DeltasRequest{Deltas: []DeltaJSON{
+		{Op: "add", Class: "fact", Fields: []any{3}},
+	}}, &dres); code != http.StatusOK || dres.Failed {
+		t.Fatalf("post-restore deltas: code=%d %+v", code, dres)
+	}
+}
+
+// TestRestoreConflicts pins the 409 contract: restoring into a live
+// session id is refused, and a missing image is a 404.
+func TestRestoreConflicts(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	seedSession(t, ts.URL, "live1")
+
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions/live1/restore", nil, nil); code != http.StatusConflict {
+		t.Fatalf("restore into live session: %d, want 409", code)
+	}
+	// Creating over a live id is refused the same way.
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{ID: "live1", Program: serveProgSrc}, nil); code != http.StatusConflict {
+		t.Fatalf("create over live session: %d, want 409", code)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions/no-such/restore", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("restore of unknown session: %d, want 404", code)
+	}
+}
+
+// TestSnapshotTruncatesWAL: an on-demand snapshot bakes the journal into
+// the image; a subsequent restore replays nothing.
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := crashableServer(t, dir)
+	seedSession(t, tsA.URL, "tr1")
+
+	walPath := filepath.Join(dir, "tr1", "wal.jsonl")
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("wal before snapshot: fi=%v err=%v", fi, err)
+	}
+	var sres SnapshotResult
+	if code, _ := doJSON(t, "POST", tsA.URL+"/sessions/tr1/snapshot", nil, &sres); code != http.StatusOK || sres.Bytes == 0 {
+		t.Fatalf("snapshot: code=%d %+v", code, sres)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated by snapshot: fi=%v err=%v", fi, err)
+	}
+	_, wantFp := sessionState(t, tsA.URL, "tr1")
+	tsA.Close()
+
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	var rr RestoreResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/tr1/restore", nil, &rr); code != http.StatusOK || rr.Replayed != 0 {
+		t.Fatalf("restore: code=%d %+v, want 0 replayed", code, rr)
+	}
+	if _, gotFp := sessionState(t, tsB.URL, "tr1"); gotFp != wantFp {
+		t.Fatalf("fingerprint after snapshot restore\n got %s\nwant %s", gotFp, wantFp)
+	}
+}
+
+// TestWALTornTailTolerated: a crash mid-append leaves a torn last line;
+// restore discards it and replays the intact prefix.
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := crashableServer(t, dir)
+	seedSession(t, tsA.URL, "torn1")
+	_, wantFp := sessionState(t, tsA.URL, "torn1")
+	tsA.Close()
+
+	walPath := filepath.Join(dir, "torn1", "wal.jsonl")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":12345,"rec":{"cy`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	var rr RestoreResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/torn1/restore", nil, &rr); code != http.StatusOK || rr.Replayed != 2 {
+		t.Fatalf("restore with torn tail: code=%d %+v", code, rr)
+	}
+	if _, gotFp := sessionState(t, tsB.URL, "torn1"); gotFp != wantFp {
+		t.Fatalf("fingerprint after torn-tail restore\n got %s\nwant %s", gotFp, wantFp)
+	}
+}
+
+// TestRunSeqIdempotent: retrying the last Seq returns the cached result
+// without re-running — before and after a failover restore.
+func TestRunSeqIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := crashableServer(t, dir)
+	var created CreateResult
+	if code, _ := doJSON(t, "POST", tsA.URL+"/sessions", CreateRequest{ID: "seq1", Program: serveProgSrc}, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	req := RunRequest{Cycles: 5, Seq: 7, Deltas: []DeltaJSON{{Op: "add", Class: "fact", Fields: []any{1}}}}
+	var first RunResult
+	if code, _ := doJSON(t, "POST", tsA.URL+"/sessions/seq1/run", req, &first); code != http.StatusOK || first.Cached {
+		t.Fatalf("first run: code=%d %+v", code, first)
+	}
+	info1, _ := sessionState(t, tsA.URL, "seq1")
+
+	var retry RunResult
+	if code, _ := doJSON(t, "POST", tsA.URL+"/sessions/seq1/run", req, &retry); code != http.StatusOK {
+		t.Fatalf("retry run: %d", code)
+	}
+	if !retry.Cached || retry.Fired != first.Fired || retry.Cycles != first.Cycles {
+		t.Fatalf("retry not served from cache: first=%+v retry=%+v", first, retry)
+	}
+	if info2, _ := sessionState(t, tsA.URL, "seq1"); info2.Cycles != info1.Cycles || info2.Fired != info1.Fired {
+		t.Fatalf("cached retry advanced the session: %+v -> %+v", info1, info2)
+	}
+	if code, _ := doJSON(t, "POST", tsA.URL+"/sessions/seq1/run", RunRequest{Cycles: 1, Seq: -2}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative seq: %d, want 400", code)
+	}
+	tsA.Close()
+
+	// The watermark rides the WAL: after a crash-restore, the same retry
+	// is still answered from cache.
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/seq1/restore", nil, nil); code != http.StatusOK {
+		t.Fatalf("restore: %d", code)
+	}
+	var after RunResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/seq1/run", req, &after); code != http.StatusOK {
+		t.Fatalf("post-restore retry: %d", code)
+	}
+	if !after.Cached || after.Fired != first.Fired {
+		t.Fatalf("post-restore retry not cached: %+v", after)
+	}
+}
+
+// TestDrainToSnapshotOnClose: a graceful shutdown snapshots every durable
+// session, so the next owner restores instantly with no WAL replay.
+func TestDrainToSnapshotOnClose(t *testing.T) {
+	dir := t.TempDir()
+	sA := New(Config{Workers: 2, Processes: 2, DataDir: dir})
+	tsA := httptest.NewServer(sA.Handler())
+	seedSession(t, tsA.URL, "drain1")
+	_, wantFp := sessionState(t, tsA.URL, "drain1")
+	tsA.Close()
+	sA.Close() // graceful: drains to snapshot
+
+	if fi, err := os.Stat(filepath.Join(dir, "drain1", "wal.jsonl")); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal after drain: fi=%v err=%v", fi, err)
+	}
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	var rr RestoreResult
+	if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/drain1/restore", nil, &rr); code != http.StatusOK || rr.Replayed != 0 {
+		t.Fatalf("restore after drain: code=%d %+v", code, rr)
+	}
+	if _, gotFp := sessionState(t, tsB.URL, "drain1"); gotFp != wantFp {
+		t.Fatalf("fingerprint after drain restore\n got %s\nwant %s", gotFp, wantFp)
+	}
+}
+
+// TestDeleteRemovesDurableState: deleting a session removes its directory,
+// so a later restore of the id correctly 404s.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	seedSession(t, ts.URL, "del1")
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/sessions/del1", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "del1")); !os.IsNotExist(err) {
+		t.Fatalf("durable dir survived delete: %v", err)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions/del1/restore", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("restore after delete: %d, want 404", code)
+	}
+}
+
+// TestSessionIDValidation: ids land on disk as directory names, so the
+// server constrains them.
+func TestSessionIDValidation(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	for _, id := range []string{"../escape", "a/b", ".hidden", "x y", string(make([]byte, 80))} {
+		if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{ID: id, Program: serveProgSrc}, nil); code != http.StatusBadRequest {
+			t.Fatalf("create with id %q: %d, want 400", id, code)
+		}
+	}
+}

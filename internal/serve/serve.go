@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
@@ -70,6 +71,11 @@ type Config struct {
 	// match workers (the daemon's -fault-seed flag); failed cycles recover
 	// through the serial fallback and trip the flight recorder.
 	Fault *fault.Injector
+	// DataDir, when set, makes sessions durable: each owns <data>/<id>/
+	// with a checksummed snapshot plus a write-ahead delta journal, and
+	// can be restored (on this server or any other sharing the directory)
+	// via POST /sessions/{id}/restore. See durable.go.
+	DataDir string
 }
 
 // Server hosts the sessions and their shared worker budget.
@@ -79,16 +85,28 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
-	nextID   int
+	// restoring marks session ids with a restore in flight, so a second
+	// restore or a create of the same id fails with 409 instead of racing.
+	restoring map[string]bool
+	nextID    int
 
 	draining atomic.Bool
 	reqSeq   atomic.Int64
 
-	mSessions *obs.Gauge
-	mRequests *obs.Counter
-	mCycles   *obs.Counter
-	mRejected *obs.Counter
-	mLatency  *obs.Histogram
+	mSessions      *obs.Gauge
+	mRequests      *obs.Counter
+	mCycles        *obs.Counter
+	mRejected      *obs.Counter
+	mLatency       *obs.Histogram
+	mSnapshots     *obs.Counter
+	mSnapBytes     *obs.Counter
+	mRestored      *obs.Counter
+	mRestoreFailed *obs.Counter
+	mRestoreSecs   *obs.Histogram
+	mReplayed      *obs.Counter
+	mWALAppends    *obs.Counter
+	mWALBytes      *obs.Counter
+	mWALFsync      *obs.Histogram
 }
 
 // New builds a server with an empty session table.
@@ -109,9 +127,10 @@ func New(cfg Config) *Server {
 		cfg.Prof = &matchprof.Options{}
 	}
 	s := &Server{
-		cfg:      cfg,
-		budget:   prun.NewBudget(cfg.Workers),
-		sessions: map[string]*Session{},
+		cfg:       cfg,
+		budget:    prun.NewBudget(cfg.Workers),
+		sessions:  map[string]*Session{},
+		restoring: map[string]bool{},
 	}
 	if o := cfg.Obs; o != nil {
 		s.mSessions = o.Gauge("sessions_active")
@@ -119,6 +138,15 @@ func New(cfg Config) *Server {
 		s.mCycles = o.Counter("serve_cycles_total")
 		s.mRejected = o.Counter("serve_backpressure_rejections_total")
 		s.mLatency = o.Histogram("serve_request_seconds")
+		s.mSnapshots = o.Counter("serve_snapshots_total")
+		s.mSnapBytes = o.Counter("serve_snapshot_bytes_total")
+		s.mRestored = o.Counter("serve_sessions_restored_total")
+		s.mRestoreFailed = o.Counter("serve_restore_failures_total")
+		s.mRestoreSecs = o.Histogram("serve_restore_seconds")
+		s.mReplayed = o.Counter("serve_wal_records_replayed_total")
+		s.mWALAppends = o.Counter("serve_wal_appends_total")
+		s.mWALBytes = o.Counter("serve_wal_bytes_total")
+		s.mWALFsync = o.Histogram("serve_wal_fsync_seconds")
 		// HTTP request spans render on their own trace lane.
 		o.Tracer().SetProcessName(servePid, "soarpsme serve")
 		o.Tracer().SetThreadName(servePid, 0, "http")
@@ -143,7 +171,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops every session loop, letting each finish the commands it has
 // already admitted (cycles are never dropped), and blocks until all loops
-// exit. Call after the HTTP server has shut down.
+// exit. Durable sessions are then drained to a final snapshot — the loop
+// has exited, so the engine is quiescent — leaving an empty WAL behind:
+// a restore after a clean shutdown replays nothing. Call after the HTTP
+// server has shut down.
 func (s *Server) Close() {
 	s.Drain()
 	s.mu.Lock()
@@ -157,6 +188,17 @@ func (s *Server) Close() {
 	}
 	for _, ss := range all {
 		<-ss.done
+		if ss.store != nil {
+			if res, err := ss.saveSnapshot(); err != nil {
+				if s.cfg.Log != nil {
+					s.cfg.Log.Error("drain snapshot failed", "session", ss.ID, "err", err)
+				}
+			} else {
+				s.mSnapshots.Inc()
+				s.mSnapBytes.Add(uint64(res.Bytes))
+			}
+			ss.store.close()
+		}
 	}
 }
 
@@ -164,6 +206,10 @@ func (s *Server) Close() {
 
 // CreateRequest creates a session.
 type CreateRequest struct {
+	// ID requests a specific session id (letters, digits, ".", "_", "-";
+	// 409 if taken). The gateway uses it to assign cluster-unique ids;
+	// empty lets the server pick one.
+	ID string `json:"id,omitempty"`
 	// Task names a server-side workload ("cypress"); empty with Program
 	// set uploads an OPS5 program instead.
 	Task string `json:"task,omitempty"`
@@ -191,6 +237,12 @@ type CreateResult struct {
 // RunRequest runs match cycles on a session.
 type RunRequest struct {
 	Cycles int `json:"cycles"`
+	// Seq is an optional per-session idempotency sequence number. A
+	// request retried with the Seq of the last executed request returns
+	// the cached result instead of re-running — including after a
+	// failover restore, because the watermark rides in the WAL and the
+	// snapshot — so client retries are exactly-once.
+	Seq int64 `json:"seq,omitempty"`
 	// Chunking enables the cypress chunk schedule (AddProductionRuntime
 	// mid-stream); ignored for program sessions.
 	Chunking bool `json:"chunking,omitempty"`
@@ -221,6 +273,10 @@ type RunResult struct {
 	Added        []uint64 `json:"added,omitempty"`
 	BadDeltas    int      `json:"bad_deltas,omitempty"`
 	Fingerprints []string `json:"fingerprints"`
+	// Cached marks an idempotent replay: the request's Seq matched the
+	// last executed request, so this is its cached result and no cycles
+	// ran now.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // DeltaJSON is one wire-format wme change: adds carry class+fields (string
@@ -290,6 +346,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /sessions/{id}/run", s.handleRun)
 	mux.HandleFunc("POST /sessions/{id}/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /sessions/{id}/restore", s.handleRestore)
 	mux.HandleFunc("GET /sessions/{id}/conflict-set", s.handleConflictSet)
 	mux.HandleFunc("GET /sessions/{id}/audit", s.handleAudit)
 	mux.HandleFunc("GET /debug/match", s.handleDebugMatch)
@@ -388,12 +446,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
+// engineConfig builds a session engine configuration from the server
+// defaults plus the creation request's overrides. Restore reuses it so a
+// restored session runs under the same configuration it was created with.
+func (s *Server) engineConfig(req *CreateRequest) (engine.Config, error) {
 	ecfg := engine.DefaultConfig()
 	if s.cfg.Unlink != nil {
 		ecfg.Rete.Unlink = *s.cfg.Unlink
@@ -406,8 +462,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Policy != "" {
 		p, err := prun.ParsePolicy(req.Policy)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return ecfg, err
 		}
 		ecfg.Policy = p
 	}
@@ -415,8 +470,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Deadline != "" {
 		d, err := time.ParseDuration(req.Deadline)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad deadline: %v", err)
-			return
+			return ecfg, fmt.Errorf("bad deadline: %w", err)
 		}
 		ecfg.Deadline = d
 	}
@@ -424,9 +478,48 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	ecfg.Obs = s.cfg.Obs
 	ecfg.Prof = s.cfg.Prof
 	ecfg.Fault = s.cfg.Fault
+	return ecfg, nil
+}
+
+// validSessionID accepts ids that are safe as path segments and
+// directory names: letters, digits, ".", "_", "-", not starting with a
+// dot, at most 64 bytes.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.ID != "" && !validSessionID(req.ID) {
+		writeErr(w, http.StatusBadRequest, "bad session id %q", req.ID)
+		return
+	}
+	ecfg, err := s.engineConfig(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	ss := &Session{
 		Created: time.Now(),
+		create:  req,
+		srv:     s,
 		cmds:    make(chan command, s.cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -474,8 +567,39 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
 		return
 	}
-	s.nextID++
-	ss.ID = fmt.Sprintf("s%d", s.nextID)
+	if req.ID != "" {
+		if s.sessions[req.ID] != nil || s.restoring[req.ID] {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, "session %q already exists", req.ID)
+			return
+		}
+		ss.ID = req.ID
+	} else {
+		for {
+			s.nextID++
+			ss.ID = fmt.Sprintf("s%d", s.nextID)
+			if s.sessions[ss.ID] == nil && !s.restoring[ss.ID] {
+				break
+			}
+		}
+	}
+	ss.create.ID = ss.ID
+	// Reserve the id (via the restoring set) while the genesis snapshot is
+	// written outside the lock, then register. A session a client has seen
+	// always has an image on disk a survivor can restore.
+	s.restoring[ss.ID] = true
+	s.mu.Unlock()
+	var persistErr error
+	if s.cfg.DataDir != "" {
+		persistErr = s.persistCreate(ss)
+	}
+	s.mu.Lock()
+	delete(s.restoring, ss.ID)
+	if persistErr != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "persisting session: %v", persistErr)
+		return
+	}
 	s.sessions[ss.ID] = ss
 	s.mSessions.Set(float64(len(s.sessions)))
 	s.mu.Unlock()
@@ -567,6 +691,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "cycles must be in [%d, 100000]", minCycles)
 		return
 	}
+	if req.Seq < 0 {
+		writeErr(w, http.StatusBadRequest, "seq must be non-negative")
+		return
+	}
 	var deadline time.Duration
 	if req.Deadline != "" {
 		d, err := time.ParseDuration(req.Deadline)
@@ -578,8 +706,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.dispatch(w, r, ss, func() (any, error) {
 		return ss.withDeadline(deadline, func() (any, error) {
-			res, err := ss.run(req.Deltas, req.Cycles, req.Chunking)
-			if res != nil {
+			res, err := ss.runLogged(&req)
+			if res != nil && !res.Cached {
 				s.mCycles.Add(uint64(res.Cycles))
 				// The handler goroutine is parked in submit until this
 				// closure's reply, so reading the response headers here is
@@ -607,12 +735,42 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dispatch(w, r, ss, func() (any, error) {
-		res, err := ss.applyDeltas(req.Deltas)
+		res, err := ss.deltasLogged(req.Deltas)
 		if err == nil {
 			s.mCycles.Inc()
 		}
 		return res, err
 	})
+}
+
+// handleSnapshot forces a snapshot (and WAL truncation) on the session
+// loop, so it cannot race match cycles.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(w, r)
+	if ss == nil {
+		return
+	}
+	s.dispatch(w, r, ss, func() (any, error) {
+		res, err := ss.saveSnapshot()
+		if err == nil {
+			s.mSnapshots.Inc()
+			s.mSnapBytes.Add(uint64(res.Bytes))
+		}
+		return res, err
+	})
+}
+
+// handleRestore rebuilds a session from its on-disk snapshot + WAL. A
+// restore into a still-live session id is refused with 409: the live
+// session owns the engine and the command loop, and a second copy would
+// race it (and fork the WAL).
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	res, code, err := s.restoreSession(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, code, "restore: %v", err)
+		return
+	}
+	writeJSON(w, code, res)
 }
 
 func (s *Server) handleConflictSet(w http.ResponseWriter, r *http.Request) {
@@ -662,6 +820,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.shutdown()
 	<-ss.done
+	if err := ss.deleteDurable(); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Error("deleting durable state", "session", id, "err", err)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
@@ -742,7 +903,10 @@ func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
 // linearly from 1s at idle to 8s at saturation on the worst of them. A
 // saturated worker budget means queued commands drain slowly, so a longer
 // backoff keeps rejected clients from hammering a server that cannot free
-// capacity quickly.
+// capacity quickly. The base is jittered ±20% (clamped to [1s, 8s]) so a
+// burst of clients rejected together doesn't retry together: without
+// jitter every 429 issued in the same instant readmits as a thundering
+// herd that immediately re-saturates the queue it bounced off.
 func retryAfterHint(fracs ...float64) string {
 	load := 0.0
 	for _, f := range fracs {
@@ -756,7 +920,16 @@ func retryAfterHint(fracs ...float64) string {
 	if load < 0 {
 		load = 0
 	}
-	return strconv.Itoa(1 + int(7*load+0.5))
+	base := 1 + 7*load
+	jittered := base * (0.8 + 0.4*rand.Float64())
+	secs := int(jittered + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 8 {
+		secs = 8
+	}
+	return strconv.Itoa(secs)
 }
 
 // budgetFrac is the shared worker budget's current occupancy in [0, 1].

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -229,21 +230,47 @@ func TestRunIngestsDeltaBatch(t *testing.T) {
 }
 
 // TestRetryAfterHint pins the 429 backoff derivation: 1s at idle scaling
-// linearly to 8s at saturation on the worst load fraction.
+// linearly to 8s at saturation on the worst load fraction, with ±20%
+// jitter so synchronized rejections don't readmit as a thundering herd.
+// The test bounds every sample to [round(0.8·base), round(1.2·base)]
+// clamped within the global [1s, 8s] window, and checks the jitter
+// actually spreads mid-range hints across more than one value.
 func TestRetryAfterHint(t *testing.T) {
 	for _, c := range []struct {
 		fracs []float64
-		want  string
+		base  float64 // unjittered hint: 1 + 7·load
 	}{
-		{[]float64{0, 0}, "1"},
-		{[]float64{0.5, 0}, "5"},  // half-full queue, idle budget
-		{[]float64{0.25, 1}, "8"}, // saturated budget dominates
-		{[]float64{1, 1}, "8"},
-		{[]float64{-1, 2}, "8"}, // fractions clamp to [0, 1]
-		{[]float64{0.1}, "2"},   // rounds, never below 1s
+		{[]float64{0, 0}, 1},
+		{[]float64{0.5, 0}, 4.5},  // half-full queue, idle budget
+		{[]float64{0.25, 1}, 8},   // saturated budget dominates
+		{[]float64{1, 1}, 8},
+		{[]float64{-1, 2}, 8}, // fractions clamp to [0, 1]
+		{[]float64{0.1}, 1.7},
 	} {
-		if got := retryAfterHint(c.fracs...); got != c.want {
-			t.Errorf("retryAfterHint(%v) = %q, want %q", c.fracs, got, c.want)
+		lo := int(0.8*c.base + 0.5)
+		hi := int(1.2*c.base + 0.5)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > 8 {
+			hi = 8
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			got, err := strconv.Atoi(retryAfterHint(c.fracs...))
+			if err != nil {
+				t.Fatalf("retryAfterHint(%v): non-numeric %v", c.fracs, err)
+			}
+			if got < lo || got > hi {
+				t.Fatalf("retryAfterHint(%v) = %d, want within [%d, %d]", c.fracs, got, lo, hi)
+			}
+			if got < 1 || got > 8 {
+				t.Fatalf("retryAfterHint(%v) = %d escapes the [1, 8] second window", c.fracs, got)
+			}
+			seen[got] = true
+		}
+		if lo != hi && len(seen) < 2 {
+			t.Errorf("retryAfterHint(%v): 200 samples all %v — jitter not spreading", c.fracs, seen)
 		}
 	}
 }

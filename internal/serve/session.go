@@ -45,6 +45,24 @@ type Session struct {
 	cycles int // match cycles run via /run
 	chunks int // productions added at run time
 
+	// Durability (nil/zero for non-durable sessions). create is the
+	// original creation request, persisted in the snapshot so a restore
+	// rebuilds the same engine configuration; lastSeq/lastRes are the
+	// idempotency watermark: a retried request with Seq == lastSeq returns
+	// the cached result instead of re-executing, which is what makes
+	// client retries across a failover exactly-once.
+	create    CreateRequest
+	srv       *Server
+	store     *store
+	lastSeq   int64
+	lastRes   *RunResult
+	replaying bool // true during WAL replay: skip re-journaling
+	// walBroken poisons the session after a durability-barrier failure:
+	// the engine has executed a request whose journal record never
+	// reached disk, so the memory state is ahead of the journal and no
+	// further mutation can be safely acknowledged.
+	walBroken bool
+
 	cmds     chan command
 	quit     chan struct{} // closed via shutdown: drain queue and exit
 	done     chan struct{} // closed when the loop has exited
@@ -222,6 +240,98 @@ func (s *Session) run(deltas []DeltaJSON, n int, chunking bool) (*RunResult, err
 		res.Recovered += rr.Recovered
 		res.Quiesced = rr.Quiesced
 		res.Fingerprints = append(res.Fingerprints, rr.Fingerprints...)
+	}
+	return res, err
+}
+
+// journal writes one WAL record ahead of execution and returns its
+// durability barrier; see store.append for why receiving the barrier may
+// safely overlap the cycle.
+func (s *Session) journal(rec walRecord) (func() error, error) {
+	n, barrier, err := s.store.append(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: WAL append: %w", err)
+	}
+	if s.srv != nil {
+		s.srv.mWALAppends.Inc()
+		s.srv.mWALBytes.Add(uint64(n))
+	}
+	return barrier, nil
+}
+
+// awaitBarrier receives the journal barrier after execution and before
+// the ACK. A barrier failure poisons the session: the engine is ahead of
+// the journal, so acknowledging anything further would let a later crash
+// silently lose it.
+func (s *Session) awaitBarrier(barrier func() error, start time.Time) error {
+	if err := barrier(); err != nil {
+		s.walBroken = true
+		return fmt.Errorf("serve: WAL sync: %w", err)
+	}
+	if s.srv != nil {
+		s.srv.mWALFsync.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// runLogged is the durable entry point for /run: it short-circuits
+// idempotent retries, journals the request to the WAL BEFORE execution
+// (write-ahead), executes while the durability barrier flushes, and
+// acknowledges only after both finish — so a crash loses only
+// unacknowledged work, which restore's WAL replay plus Seq idempotency
+// reconcile. During restore replay the journal step is skipped and the
+// same path re-derives the pre-crash state.
+func (s *Session) runLogged(req *RunRequest) (*RunResult, error) {
+	if req.Seq > 0 && req.Seq == s.lastSeq && s.lastRes != nil {
+		cached := *s.lastRes
+		cached.Cached = true
+		return &cached, nil
+	}
+	var barrier func() error
+	start := time.Now()
+	if s.store != nil && !s.replaying {
+		if s.walBroken {
+			return nil, fmt.Errorf("serve: session %s journal failed a durability barrier; snapshot or restore it", s.ID)
+		}
+		var err error
+		if barrier, err = s.journal(walRecord{Seq: req.Seq, Cycle: s.cycles, Run: req}); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.run(req.Deltas, req.Cycles, req.Chunking)
+	if barrier != nil {
+		if werr := s.awaitBarrier(barrier, start); werr != nil {
+			return nil, werr
+		}
+	}
+	if req.Seq > 0 {
+		s.lastSeq = req.Seq
+		if res != nil {
+			s.lastRes = res
+		}
+	}
+	return res, err
+}
+
+// deltasLogged journals a /deltas request (as a cycles-0 run record, so
+// restore replays it through the same path) then applies it.
+func (s *Session) deltasLogged(in []DeltaJSON) (*DeltaResult, error) {
+	var barrier func() error
+	start := time.Now()
+	if s.store != nil && !s.replaying {
+		if s.walBroken {
+			return nil, fmt.Errorf("serve: session %s journal failed a durability barrier; snapshot or restore it", s.ID)
+		}
+		var err error
+		if barrier, err = s.journal(walRecord{Cycle: s.cycles, Run: &RunRequest{Deltas: in}}); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.applyDeltas(in)
+	if barrier != nil {
+		if werr := s.awaitBarrier(barrier, start); werr != nil {
+			return nil, werr
+		}
 	}
 	return res, err
 }

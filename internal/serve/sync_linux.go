@@ -1,0 +1,10 @@
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes f's data and size without the pure-metadata updates
+// fsync also journals — the cheaper barrier for append-only journals.
+func fdatasync(f *os.File) error { return syscall.Fdatasync(int(f.Fd())) }

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package serve
+
+import "os"
+
+// fdatasync degrades to a full fsync where the thinner barrier isn't
+// wired up.
+func fdatasync(f *os.File) error { return f.Sync() }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"soarpsme/internal/obs"
+)
+
+// TestWALPerfDiag is a diagnostic, not a regression test: it drives the
+// WALIngest workload in-process and prints where the durability overhead
+// goes (appends vs barrier latency, across bench shapes). Run explicitly:
+//
+//	WALDIAG=1 go test ./internal/serve -run WALPerfDiag -v -count=1
+func TestWALPerfDiag(t *testing.T) {
+	if os.Getenv("WALDIAG") == "" {
+		t.Skip("diagnostic; set WALDIAG=1 to run")
+	}
+	for _, tc := range []struct {
+		mode             string
+		sessions, deltas int
+		batch            int
+	}{
+		{"off", 4, 480, 64}, {"on", 4, 480, 64},
+		{"off", 4, 1920, 64}, {"on", 4, 1920, 64},
+		{"off", 13, 480, 64}, {"on", 13, 480, 64},
+	} {
+		mode := tc.mode
+		durable := mode != "off"
+		o := obs.New()
+		cfg := Config{Processes: 2, QueueDepth: 8, MaxSessions: 16, Obs: o}
+		if durable {
+			cfg.DataDir = t.TempDir()
+		}
+		srv := New(cfg)
+		ts := httptest.NewServer(srv.Handler())
+
+		sessions, deltas := tc.sessions, tc.deltas
+		batches := ChopScript(IngestScript(deltas), tc.batch)
+		start := time.Now()
+		done := make(chan struct{}, sessions)
+		for s := 0; s < sessions; s++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				var created CreateResult
+				doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: IngestProgram}, &created)
+				base := ts.URL + "/sessions/" + created.ID
+				var ids []uint64
+				for _, ops := range batches {
+					body, err := IngestBatchJSON(ops, ids)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var res RunResult
+					doJSON(t, "POST", base+"/run", RunRequest{Deltas: body}, &res)
+					ids = append(ids, res.Added...)
+				}
+			}()
+		}
+		for s := 0; s < sessions; s++ {
+			<-done
+		}
+		wall := time.Since(start)
+		appends := srv.mWALAppends.Value()
+		fsyncN := srv.mWALFsync.Count()
+		fsyncSum := srv.mWALFsync.Sum()
+		reqN := srv.mRequests.Value()
+		reqSum := srv.mLatency.Sum()
+		t.Logf("mode=%s shape=%dx%d batch=%d wall=%v requests=%d req_avg=%v", mode, sessions, deltas, tc.batch, wall, reqN,
+			time.Duration(reqSum/float64(max(reqN, 1))*1e9))
+		if durable {
+			t.Logf("  appends=%d barrier_avg=%v barrier_total=%v",
+				appends,
+				time.Duration(fsyncSum/float64(max(fsyncN, 1))*1e9),
+				time.Duration(fsyncSum*1e9))
+		}
+		srv.Close()
+		ts.Close()
+	}
+}

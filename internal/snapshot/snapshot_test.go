@@ -1,0 +1,185 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soarpsme/internal/engine"
+	"soarpsme/internal/serve"
+	"soarpsme/internal/snapshot"
+)
+
+// refractionProg exercises the state a snapshot must carry beyond working
+// memory: refraction (the `watch` production stays matched across cycles
+// and must not re-fire after a restore), gensym, and halt. The bar-quoted
+// class name exercises QuoteSym on the generated literalize line.
+const refractionProg = `
+(literalize fib i a b)
+(literalize limit n)
+(literalize |odd name| v)
+
+(startup
+  (make limit ^n 12)
+  (make |odd name| ^v watched)
+  (make fib ^i 1 ^a 0 ^b 1))
+
+(p watch
+  (|odd name| ^v watched)
+  -->
+  (make |odd name| ^v (gensym)))
+
+(p step
+  (limit ^n <n>)
+  { <f> (fib ^i { <i> < <n> } ^a <a> ^b <b>) }
+  -->
+  (modify <f> ^i (compute <i> + 1) ^a <b> ^b (compute <a> + <b>)))
+
+(p done
+  (limit ^n <n>)
+  (fib ^i <n> ^b <v>)
+  -->
+  (halt))
+`
+
+// runSteps advances n recognize-act steps, collecting per-step
+// fingerprints (stopping early at quiescence or halt).
+func runSteps(t *testing.T, e *engine.Engine, n int) []string {
+	t.Helper()
+	var fps []string
+	for i := 0; i < n && !e.Halted(); i++ {
+		fired, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fired {
+			break
+		}
+		fps = append(fps, serve.Fingerprint(e))
+	}
+	return fps
+}
+
+// TestOPS5RoundTrip is the recognize-act leg of the round-trip property:
+// an unbroken run and a run snapshotted (through the full encode/decode
+// wire form) mid-flight must fire the same productions and end in the
+// same state. A lost refraction entry would make the restored run re-fire
+// `watch` and diverge immediately.
+func TestOPS5RoundTrip(t *testing.T) {
+	mk := func() *engine.Engine {
+		e := engine.New(engine.DefaultConfig())
+		if err := e.LoadProgram(refractionProg); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := mk()
+	refFps := runSteps(t, ref, 100)
+	if !ref.Halted() {
+		t.Fatal("reference run did not halt")
+	}
+
+	for _, k := range []int{1, 5, len(refFps) - 1} {
+		e1 := mk()
+		fps := runSteps(t, e1, k)
+		data, err := snapshot.Export(e1).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := snapshot.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := snapshot.Restore(img, engine.DefaultConfig())
+		if err != nil {
+			t.Fatalf("restore at step %d: %v", k, err)
+		}
+		if got, want := serve.Fingerprint(e2), serve.Fingerprint(e1); got != want {
+			t.Fatalf("restore at step %d: fingerprint\n got %s\nwant %s", k, got, want)
+		}
+		if err := e2.AuditInvariants(); err != nil {
+			t.Fatalf("restore at step %d: audit: %v", k, err)
+		}
+		if e2.Gensym() != e1.Gensym() || e2.Fired != e1.Fired {
+			t.Fatalf("restore at step %d: counters gensym=%d/%d fired=%d/%d",
+				k, e2.Gensym(), e1.Gensym(), e2.Fired, e1.Fired)
+		}
+		fps = append(fps, runSteps(t, e2, 100)...)
+		if !e2.Halted() {
+			t.Fatalf("restored run (snapshot at step %d) did not halt", k)
+		}
+		if len(fps) != len(refFps) {
+			t.Fatalf("snapshot at step %d: %d steps, reference ran %d", k, len(fps), len(refFps))
+		}
+		for i := range fps {
+			if fps[i] != refFps[i] {
+				t.Fatalf("snapshot at step %d: step %d fingerprint diverged\n got %s\nwant %s",
+					k, i, fps[i], refFps[i])
+			}
+		}
+	}
+}
+
+// TestEnvelopeRejectsCorruption pins the loud-failure contract: a flipped
+// payload byte, a truncated file, and a wrong format version must all be
+// rejected — never restored silently.
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	e := engine.New(engine.DefaultConfig())
+	if err := e.LoadProgram(refractionProg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := snapshot.Export(e).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Decode(data); err != nil {
+		t.Fatalf("clean image rejected: %v", err)
+	}
+
+	// Flip one byte inside the payload (find a safe spot: a digit in the
+	// payload body, so the envelope JSON still parses).
+	i := bytes.Index(data, []byte(`"wmes"`))
+	if i < 0 {
+		t.Fatal("no wmes field in encoded image")
+	}
+	bad := append([]byte(nil), data...)
+	bad[i+10] ^= 0x01
+	if _, err := snapshot.Decode(bad); err == nil {
+		t.Fatal("corrupted image decoded without error")
+	} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "payload") {
+		t.Fatalf("corrupted image: unexpected error %v", err)
+	}
+
+	if _, err := snapshot.Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated image decoded without error")
+	}
+
+	futur := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":99`), 1)
+	if _, err := snapshot.Decode(futur); err == nil {
+		t.Fatal("future-version image decoded without error")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version image: unexpected error %v", err)
+	}
+}
+
+// TestProgramSourceRoundTrips checks the generated program source is
+// self-contained: loading it into a fresh engine reproduces every class
+// schema (field indices included) and every production, including ones
+// with bar-quoted names.
+func TestProgramSourceRoundTrips(t *testing.T) {
+	e := engine.New(engine.DefaultConfig())
+	if err := e.LoadProgram(refractionProg); err != nil {
+		t.Fatal(err)
+	}
+	src := snapshot.ProgramSource(e)
+	e2 := engine.New(engine.DefaultConfig())
+	if err := e2.LoadProgram(src); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	if got, want := snapshot.ProgramSource(e2), src; got != want {
+		t.Fatalf("program source not a fixed point:\n got %q\nwant %q", got, want)
+	}
+	if e2.WM.Len() != 0 {
+		t.Fatalf("generated source touched working memory: %d wmes", e2.WM.Len())
+	}
+}

@@ -257,3 +257,52 @@ func (d *Driver) Batch() []wme.Delta {
 func (s *System) ParseChunk(i int, tab *value.Table) (*ops5.Production, error) {
 	return ops5.ParseProduction(s.ChunkSrcs[i], tab)
 }
+
+// DriverState is the portable state of a Driver mid-run. Chain wmes are
+// recorded by ID: every chain step is live in working memory (chains are
+// removed only whole, when abandoned), so a restored memory resolves them
+// by identity.
+type DriverState struct {
+	RNG     uint64     `json:"rng"`
+	NextID  int        `json:"nextId"`
+	Targets []int      `json:"targets"`
+	Chains  [][]uint64 `json:"chains"`
+}
+
+// State exports the driver for a snapshot.
+func (d *Driver) State() *DriverState {
+	st := &DriverState{RNG: d.rng.s, NextID: d.nextID, Targets: append([]int{}, d.targets...)}
+	st.Chains = make([][]uint64, len(d.chains))
+	for i, chain := range d.chains {
+		ids := make([]uint64, len(chain))
+		for j, w := range chain {
+			ids[j] = w.ID
+		}
+		st.Chains[i] = ids
+	}
+	return st
+}
+
+// RestoreDriver rebuilds a driver against a restored working memory,
+// resolving recorded chain wme IDs to the live objects. The subsequent
+// Batch sequence is identical to the one the exported driver would have
+// produced.
+func RestoreDriver(sys *System, tab *value.Table, mem *wme.Memory, st *DriverState) (*Driver, error) {
+	d := NewDriver(sys, tab, mem)
+	d.rng.s = st.RNG
+	d.nextID = st.NextID
+	d.targets = append([]int{}, st.Targets...)
+	d.chains = make([][]*wme.WME, len(st.Chains))
+	for i, ids := range st.Chains {
+		chain := make([]*wme.WME, len(ids))
+		for j, id := range ids {
+			w := mem.Get(id)
+			if w == nil {
+				return nil, fmt.Errorf("cypress: chain wme %d not in working memory", id)
+			}
+			chain[j] = w
+		}
+		d.chains[i] = chain
+	}
+	return d, nil
+}

@@ -198,6 +198,30 @@ func (m *Memory) Make(class value.Sym, fields []value.Value) *WME {
 	return &WME{ID: m.nextID, TimeTag: m.nextTag, Class: class, Fields: fields}
 }
 
+// Counters returns the ID and time-tag allocation state (the last values
+// assigned by Make). Snapshots persist them so a restored memory keeps
+// allocating fresh identities.
+func (m *Memory) Counters() (nextID, nextTag uint64) { return m.nextID, m.nextTag }
+
+// SetCounters sets the allocation state; a restore must pass values at
+// least as large as every live wme's ID and time tag or Make would reuse
+// an identity.
+func (m *Memory) SetCounters(nextID, nextTag uint64) {
+	m.nextID = nextID
+	m.nextTag = nextTag
+}
+
+// EnsureCounters raises the allocation state to at least (id, tag). Used
+// when replaying recorded deltas that carry pre-assigned identities.
+func (m *Memory) EnsureCounters(id, tag uint64) {
+	if id > m.nextID {
+		m.nextID = id
+	}
+	if tag > m.nextTag {
+		m.nextTag = tag
+	}
+}
+
 // Insert adds w to working memory. A duplicate insert (same wme already
 // present) is rejected with an error and leaves memory unchanged; the
 // engine treats it as a failed cycle and recovers rather than crashing.
