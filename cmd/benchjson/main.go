@@ -20,7 +20,11 @@
 // task/policy, so the default-on flip can't silently regress wall-clock.
 // The durability benches add a third intra-run gate: WALIngest with the
 // write-ahead journal on may not cost more than -wal-tolerance (10%) in
-// ns/op over the journal-off twin.
+// ns/op over the journal-off twin. The shared-image benches add a fourth:
+// SessionColdStart/cypress/warm (create against a warm image cache) must
+// beat SessionColdStart/cypress/compile (compile-from-source) by at least
+// -image-speedup (5x), or the topology split has stopped paying for
+// itself.
 //
 // Usage:
 //
@@ -29,6 +33,7 @@
 //	          [-profiling=false] [-prof-tolerance 0.05]
 //	          [-unlink-gate=false] [-unlink-tolerance 0.05]
 //	          [-durability=false] [-wal-gate=false] [-wal-tolerance 0.10]
+//	          [-images=false] [-image-gate=false] [-image-speedup 5]
 package main
 
 import (
@@ -305,6 +310,52 @@ func walGate(cases []benchkit.Case, results []result, tol float64) []string {
 	return fails
 }
 
+// imageGate enforces the intra-run shared-image cold-start budget:
+// SessionColdStart/cypress/warm must be at least minSpeedup times faster
+// in ns/op than SessionColdStart/cypress/compile. This is the tentpole
+// claim of the compiled-image split — a warm create is per-session state
+// only — so it is gated as an invariant, not just tracked against a
+// baseline. Same re-measure-keep-best retry as the other intra-run gates.
+func imageGate(cases []benchkit.Case, results []result, minSpeedup float64) []string {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	bench := map[string]func(b *testing.B){}
+	for _, c := range cases {
+		bench[c.Name] = c.Bench
+	}
+	const warmName = "SessionColdStart/cypress/warm"
+	const compileName = "SessionColdStart/cypress/compile"
+	warm, okW := byName[warmName]
+	compile, okC := byName[compileName]
+	if !okW || !okC || warm <= 0 {
+		return nil
+	}
+	if compile/warm < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchjson: %s under %.0fx speedup on first measurement (%.1fx), re-measuring the pair\n",
+			warmName, minSpeedup, compile/warm)
+		if b, ok := bench[compileName]; ok {
+			if v := float64(testing.Benchmark(b).NsPerOp()); v > 0 && v < compile {
+				compile = v
+			}
+		}
+		if b, ok := bench[warmName]; ok {
+			if v := float64(testing.Benchmark(b).NsPerOp()); v > 0 && v < warm {
+				warm = v
+			}
+		}
+	}
+	if speedup := compile / warm; speedup < minSpeedup {
+		return []string{fmt.Sprintf("%s: warm create %.0f ns/op vs compile %.0f ns/op (%.1fx, need >= %.0fx)",
+			warmName, warm, compile, speedup, minSpeedup)}
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: warm-cache create %.1fx faster than compile (floor %.0fx)\n",
+			warmName, speedup, minSpeedup)
+	}
+	return nil
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default BENCH_<git-short-sha>.json)")
 	basePath := flag.String("baseline", "", "baseline JSON to gate against; exit nonzero on regression")
@@ -319,6 +370,9 @@ func main() {
 	durability := flag.Bool("durability", true, "include the snapshot-restore and WAL-ingest durability benches")
 	walCheck := flag.Bool("wal-gate", true, "gate the WALIngest wal=on/wal=off pair intra-run on ns/op")
 	walTol := flag.Float64("wal-tolerance", 0.10, "allowed fractional ns/op cost of the write-ahead journal on the ingest path")
+	images := flag.Bool("images", true, "include the shared-compiled-image cold-start and resident-bytes benches")
+	imageCheck := flag.Bool("image-gate", true, "gate SessionColdStart warm vs compile intra-run on ns/op")
+	imageSpeedup := flag.Float64("image-speedup", 5, "required ns/op speedup of warm-cache create over compile-from-source")
 	strict := flag.Bool("strict", false, "with -baseline: fail on any current<->baseline name mismatch instead of skipping")
 	flag.Parse()
 
@@ -343,6 +397,9 @@ func main() {
 	}
 	if *durability {
 		cases = append(cases, benchkit.DurabilityCases()...)
+	}
+	if *images {
+		cases = append(cases, benchkit.ImageCases()...)
 	}
 	f := benchFile{
 		SHA:        gitShortSHA(),
@@ -393,6 +450,16 @@ func main() {
 	if *walCheck {
 		if fails := walGate(cases, f.Benchmarks, *walTol); len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d WAL-overhead failure(s):\n", len(fails))
+			for _, s := range fails {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *imageCheck {
+		if fails := imageGate(cases, f.Benchmarks, *imageSpeedup); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d image cold-start failure(s):\n", len(fails))
 			for _, s := range fails {
 				fmt.Fprintln(os.Stderr, "  "+s)
 			}

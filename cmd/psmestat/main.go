@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"soarpsme/internal/engine"
 	"soarpsme/internal/matchprof"
 )
 
@@ -45,7 +46,7 @@ func main() {
 		}
 		renderDump(d, *top)
 	default:
-		snap, sessions, err := fetchSnapshot(*addr, *session)
+		snap, sessions, cache, err := fetchSnapshot(*addr, *session)
 		if err != nil {
 			fatal(err)
 		}
@@ -56,6 +57,15 @@ func main() {
 				fmt.Printf("  %-8s cycles=%-6d acts=%-10d null-rate=%.1f%% cost=%dus\n",
 					s.Session, s.Cycles, s.Totals.Acts, 100*s.NullRate, s.Totals.Cost)
 			}
+		}
+		if cache != nil {
+			total := cache.Hits + cache.Misses
+			rate := 0.0
+			if total > 0 {
+				rate = 100 * float64(cache.Hits) / float64(total)
+			}
+			fmt.Printf("\nimage cache: %d compiled image(s) live, %d session ref(s), %d/%d lookups warm (%.1f%% hit rate)\n",
+				cache.Live, cache.Sessions, cache.Hits, total, rate)
 		}
 	}
 }
@@ -85,26 +95,27 @@ func get(url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-func fetchSnapshot(addr, session string) (*matchprof.Snapshot, []*matchprof.Snapshot, error) {
+func fetchSnapshot(addr, session string) (*matchprof.Snapshot, []*matchprof.Snapshot, *engine.CacheStats, error) {
 	base := strings.TrimSuffix(addr, "/")
 	if session != "" {
 		var s matchprof.Snapshot
 		if err := get(base+"/debug/match?session="+session, &s); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return &s, nil, nil
+		return &s, nil, nil, nil
 	}
 	var out struct {
-		Sessions  []*matchprof.Snapshot `json:"sessions"`
-		Aggregate *matchprof.Snapshot   `json:"aggregate"`
+		Sessions   []*matchprof.Snapshot `json:"sessions"`
+		Aggregate  *matchprof.Snapshot   `json:"aggregate"`
+		ImageCache *engine.CacheStats    `json:"image_cache"`
 	}
 	if err := get(base+"/debug/match", &out); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if out.Aggregate == nil {
-		return nil, nil, fmt.Errorf("no snapshot in response")
+		return nil, nil, nil, fmt.Errorf("no snapshot in response")
 	}
-	return out.Aggregate, out.Sessions, nil
+	return out.Aggregate, out.Sessions, out.ImageCache, nil
 }
 
 func fetchDump(addr, session string) (*matchprof.Dump, error) {

@@ -112,6 +112,10 @@ type Engine struct {
 	// pendingExcise holds (excise ...) actions deferred to quiescence.
 	pendingExcise []string
 
+	// img is the shared compiled image this engine runs against (nil for
+	// engines that compiled their own network).
+	img *ProgramImage
+
 	// Pre-resolved observability handles (all nil when cfg.Obs is nil).
 	obs           *obs.Observer
 	mCycles       *obs.Counter
@@ -139,12 +143,18 @@ type Engine struct {
 	lastAlphaMiss uint64
 }
 
-// New creates an empty engine.
+// New creates an empty engine owning a private, freshly compiled network.
 func New(cfg Config) *Engine {
 	tab := value.NewTable()
 	reg := wme.NewRegistry()
 	cs := conflict.New()
 	nw := rete.NewNetwork(tab, reg, cs, cfg.Rete)
+	return assemble(tab, reg, nw, cs, cfg)
+}
+
+// assemble wires the runtime, profiler and observability around a network —
+// shared by New (private network) and NewFromImage (shared topology).
+func assemble(tab *value.Table, reg *wme.Registry, nw *rete.Network, cs *conflict.Set, cfg Config) *Engine {
 	var prof *matchprof.Profile
 	capture := cfg.CaptureTrace
 	if cfg.Prof != nil {

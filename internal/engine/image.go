@@ -1,0 +1,117 @@
+// Compiled program images: the engine-level face of the rete topology
+// split. CompileProgram builds a program's network once and freezes it;
+// NewFromImage stamps out sessions against the shared image in O(state)
+// instead of O(compile) — the paper's node-sharing economy extended across
+// sessions. ImageCache (cache.go) keys images by canonical program hash so
+// a process serving many sessions of one program compiles it exactly once.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"soarpsme/internal/conflict"
+	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
+	"soarpsme/internal/value"
+	"soarpsme/internal/wme"
+)
+
+// ProgramImage is an immutable compiled OPS5 program: the frozen rete
+// topology plus everything a session needs to run against it. The symbol
+// table and class registry are shared by every session of the image (node
+// tests hold table-interned symbols); both are internally locked and
+// append-only, so concurrent sessions may extend them safely.
+type ProgramImage struct {
+	// Hash is the canonical cache key: program source + structural options.
+	Hash string
+	// Source is the exact source the image was compiled from.
+	Source string
+
+	Tab      *value.Table
+	Reg      *wme.Registry
+	Top      *rete.Topology
+	Strategy conflict.Strategy
+	// Startup holds the program's startup actions; they run per-session
+	// (RunStartup), not at compile time, since they create working memory.
+	Startup []*ops5.Action
+}
+
+// Productions returns the number of productions compiled into the image.
+func (img *ProgramImage) Productions() int { return len(img.Top.Productions()) }
+
+// ProgramHash computes the canonical image cache key: a SHA-256 over the
+// program source and the structural (topology-level) options. Session-level
+// options — Unlink, HashLines — are excluded: they configure per-session
+// state, not the compiled graph, so sessions differing only in them share
+// one image.
+func ProgramHash(src string, opts rete.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "share=%t org=%d ctx=%d grp=%d linmem=%t\n",
+		opts.ShareBeta, opts.Organization, opts.ContextCEs, opts.GroupCEs, opts.LinearMemories)
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CompileProgram parses and compiles an OPS5 program into a frozen,
+// shareable image. Startup actions are recorded, not executed.
+func CompileProgram(src string, opts rete.Options) (*ProgramImage, error) {
+	tab := value.NewTable()
+	reg := wme.NewRegistry()
+	nw := rete.NewNetwork(tab, reg, nil, opts)
+	prog, err := ops5.Parse(src, tab)
+	if err != nil {
+		return nil, err
+	}
+	for _, lit := range prog.Literalize {
+		reg.Declare(lit.Class, lit.Attrs...)
+	}
+	for _, p := range prog.Productions {
+		if _, _, err := nw.AddProduction(p); err != nil {
+			return nil, err
+		}
+	}
+	return &ProgramImage{
+		Hash:     ProgramHash(src, opts),
+		Source:   src,
+		Tab:      tab,
+		Reg:      reg,
+		Top:      nw.Freeze(),
+		Strategy: conflict.ParseStrategy(prog.Strategy),
+		Startup:  prog.Startup,
+	}, nil
+}
+
+// NewFromImage creates a session engine over a shared compiled image:
+// fresh working memory, conflict set, token tables and counters — no
+// compilation. Structural rete options come from the image; cfg.Rete
+// contributes only the session-level Unlink/HashLines. Startup actions are
+// NOT run — call RunStartup for a fresh session, or skip it when restoring
+// a snapshot whose working memory is replayed explicitly.
+func NewFromImage(img *ProgramImage, cfg Config) *Engine {
+	cs := conflict.New()
+	nw := rete.NewFromTopology(img.Top, cs, cfg.Rete)
+	e := assemble(img.Tab, img.Reg, nw, cs, cfg)
+	e.strategy = img.Strategy
+	e.img = img
+	return e
+}
+
+// Image returns the compiled image this engine was created from, or nil
+// for an engine that compiled its own private network.
+func (e *Engine) Image() *ProgramImage { return e.img }
+
+// RunStartup executes the image's startup actions (one match cycle). It is
+// a no-op for engines not created from an image or images without startup.
+func (e *Engine) RunStartup() error {
+	if e.img == nil || len(e.img.Startup) == 0 {
+		return nil
+	}
+	deltas, err := e.execActions(e.img.Startup, nil, nil)
+	if err != nil {
+		return err
+	}
+	e.ApplyAndMatch(deltas)
+	return nil
+}

@@ -292,8 +292,15 @@ func (g *Gateway) failOverLocked(dead *backend) {
 			}
 			var rr serve.RestoreResult
 			if json.Unmarshal(body, &rr) == nil {
+				// image=warm means the survivor already had the program's
+				// topology compiled: the whole failover wave pays one
+				// compile per distinct program, not one per session.
+				temp := "cold"
+				if rr.CacheHit {
+					temp = "warm"
+				}
 				g.logInfo("session restored", "session", id, "backend", to.url,
-					"cycles", rr.Cycles, "replayed", rr.Replayed)
+					"cycles", rr.Cycles, "replayed", rr.Replayed, "image", temp)
 			}
 		}(mv.id, mv.to)
 	}

@@ -50,7 +50,7 @@ func (nw *Network) dumpOutputs(p *BetaNode, firstNew NodeID) []*Token {
 	if p == nil {
 		return []*Token{DummyTop}
 	}
-	for _, c := range p.Children {
+	for _, c := range nw.childrenOf(p) {
 		if c.ID >= firstNew {
 			continue
 		}

@@ -45,13 +45,15 @@ type builder struct {
 }
 
 // AddProduction compiles ast into the network, sharing nodes with existing
-// productions where Options.ShareBeta allows. The caller must be quiescent
-// (no match tasks in flight). The returned AddInfo seeds the state update.
+// productions where Options.ShareBeta allows. Against a frozen topology the
+// new nodes splice onto the session-private suffix: shared prefix nodes are
+// reused read-only, never mutated. The caller must be quiescent (no match
+// tasks in flight). The returned AddInfo seeds the state update.
 func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, error) {
 	start := time.Now()
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	if nw.prods[ast.Name] != nil {
+	if nw.top.prods[ast.Name] != nil || (nw.sfx != nil && nw.sfx.prods[ast.Name] != nil) {
 		return nil, nil, fmt.Errorf("rete: production %q already defined", ast.Name)
 	}
 	b := &builder{
@@ -84,15 +86,25 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 	pn := b.newNode(&BetaNode{Kind: KindP, Parent: bottom, Prod: prod})
 	b.attach(bottom, pn)
 	prod.PNode = pn
-	nw.prods[ast.Name] = prod
-	nw.prodOrder = append(nw.prodOrder, prod)
+	if nw.top.frozen {
+		sfx := nw.sfxOf()
+		sfx.prods[ast.Name] = prod
+		sfx.prodOrder = append(sfx.prodOrder, prod)
+	} else {
+		nw.top.prods[ast.Name] = prod
+		nw.top.prodOrder = append(nw.top.prodOrder, prod)
+	}
 
 	b.info.Prod = prod
 	b.finishInfo()
 	// Size the unlink counters for the new node IDs while still quiescent
 	// (match workers read them with atomics and never reallocate).
-	nw.Mem.GrowCounts(int(nw.nextID) + 1)
-	nw.Prof.Grow(int(nw.nextID) + 1)
+	maxID := nw.top.nextID
+	if nw.sfx != nil {
+		maxID = nw.sfx.nextID
+	}
+	nw.Mem.GrowCounts(int(maxID) + 1)
+	nw.Prof.Grow(int(maxID) + 1)
 	b.info.SpliceTime = time.Since(start)
 	return prod, b.info, nil
 }
@@ -124,17 +136,34 @@ func (b *builder) newNode(n *BetaNode) *BetaNode {
 	n.ID = b.nw.newID()
 	n.refs = 1
 	if n.Kind != KindP {
-		b.nw.nTwoInput++
+		if b.nw.top.frozen {
+			b.nw.sfxOf().nTwoInput++
+		} else {
+			b.nw.top.nTwoInput++
+		}
 	}
 	b.info.NewBeta = append(b.info.NewBeta, n)
 	b.shared = false
 	return n
 }
 
-// attach wires child under parent (or as a top node).
+// attach wires child under parent (or as a top node). A frozen parent's
+// child list is never touched: the child goes into the session suffix's
+// betaKids overlay instead — the jumptable splice.
 func (b *builder) attach(parent, child *BetaNode) {
+	nw := b.nw
 	if parent == nil {
-		b.nw.topNodes = append(b.nw.topNodes, child)
+		if nw.top.frozen {
+			sfx := nw.sfxOf()
+			sfx.topNodes = append(sfx.topNodes, child)
+		} else {
+			nw.top.topNodes = append(nw.top.topNodes, child)
+		}
+		return
+	}
+	if nw.sharedBeta(parent) {
+		sfx := nw.sfxOf()
+		sfx.betaKids[parent.ID] = append(sfx.betaKids[parent.ID], child)
 		return
 	}
 	parent.Children = append(parent.Children, child)
@@ -238,20 +267,40 @@ func (b *builder) joinChild(cur *BetaNode, kind BetaKind, am *AlphaMem, tests []
 		nEq = 0 // no hash discrimination: scan the whole node memory
 	}
 	if b.shared && b.nw.Opts.ShareBeta {
+		match := func(s *BetaNode) bool {
+			return !s.private && s.Kind == kind && s.Alpha == am && s.RightCE == rightCE && sameTests(s.Tests, tests)
+		}
 		var siblings []*BetaNode
 		if cur == nil {
-			siblings = b.nw.topNodes
+			siblings = b.nw.top.topNodes
 		} else {
 			siblings = cur.Children
 		}
 		for _, s := range siblings {
-			if s.private {
-				continue
-			}
-			if s.Kind == kind && s.Alpha == am && s.RightCE == rightCE && sameTests(s.Tests, tests) {
-				s.refs++
+			if match(s) {
+				// Sharing into a frozen prefix node reuses it without any
+				// mutation: its refs stay as compiled (prefix nodes are
+				// permanent; suffix excise skips them).
+				if !b.nw.sharedBeta(s) {
+					s.refs++
+				}
 				b.info.SharedTwoInput++
 				return s
+			}
+		}
+		if sfx := b.nw.sfx; sfx != nil {
+			// Suffix siblings: earlier chunks of this same session.
+			if cur == nil {
+				siblings = sfx.topNodes
+			} else {
+				siblings = sfx.betaKids[cur.ID]
+			}
+			for _, s := range siblings {
+				if match(s) {
+					s.refs++
+					b.info.SharedTwoInput++
+					return s
+				}
 			}
 		}
 	}
@@ -264,7 +313,12 @@ func (b *builder) joinChild(cur *BetaNode, kind BetaKind, am *AlphaMem, tests []
 		nEqTests: nEq,
 		private:  b.private,
 	})
-	am.Succs = append(am.Succs, n)
+	if b.nw.sharedID(am.ID) {
+		sfx := b.nw.sfxOf()
+		sfx.alphaSuccs[am.ID] = append(sfx.alphaSuccs[am.ID], n)
+	} else {
+		am.Succs = append(am.Succs, n)
+	}
 	b.attach(cur, n)
 	return n
 }

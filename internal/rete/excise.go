@@ -12,9 +12,20 @@ import "fmt"
 func (nw *Network) RemoveProduction(name string) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	prod := nw.prods[name]
+	prod := nw.top.prods[name]
+	fromSuffix := false
+	if prod == nil && nw.sfx != nil {
+		prod = nw.sfx.prods[name]
+		fromSuffix = prod != nil
+	}
 	if prod == nil {
 		return fmt.Errorf("rete: production %q not defined", name)
+	}
+	if !fromSuffix && nw.top.frozen {
+		// The production's nodes belong to the shared image other sessions
+		// are matching against; excising them here would mutate structures
+		// read lock-free elsewhere.
+		return fmt.Errorf("rete: production %q is part of a frozen shared topology and cannot be excised per-session", name)
 	}
 
 	// Retract the production's live instantiations.
@@ -45,7 +56,13 @@ func (nw *Network) RemoveProduction(name string) error {
 	walk(prod.PNode)
 
 	// Decrement reference counts bottom-up; detach nodes that reach zero.
+	// Shared prefix nodes reused by a suffix chunk are skipped entirely:
+	// they are permanent (the frozen image outlives every session) and
+	// their refs field must not be written cross-session.
 	for _, n := range chain {
+		if nw.sharedBeta(n) {
+			continue
+		}
 		n.refs--
 		if n.refs > 0 {
 			continue
@@ -53,21 +70,37 @@ func (nw *Network) RemoveProduction(name string) error {
 		nw.detach(n)
 		nw.Mem.PurgeNode(n.ID)
 		if n.Kind != KindP {
-			nw.nTwoInput--
+			if fromSuffix {
+				nw.sfx.nTwoInput--
+			} else {
+				nw.top.nTwoInput--
+			}
 		}
 	}
 
-	delete(nw.prods, name)
-	for i, p := range nw.prodOrder {
+	if fromSuffix {
+		delete(nw.sfx.prods, name)
+		for i, p := range nw.sfx.prodOrder {
+			if p == prod {
+				nw.sfx.prodOrder = append(nw.sfx.prodOrder[:i], nw.sfx.prodOrder[i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+	delete(nw.top.prods, name)
+	for i, p := range nw.top.prodOrder {
 		if p == prod {
-			nw.prodOrder = append(nw.prodOrder[:i], nw.prodOrder[i+1:]...)
+			nw.top.prodOrder = append(nw.top.prodOrder[:i], nw.top.prodOrder[i+1:]...)
 			break
 		}
 	}
 	return nil
 }
 
-// detach unwires a dead node from its parents and alpha memory.
+// detach unwires a dead node from its parents and alpha memory. A private
+// suffix node hanging off a shared parent is removed from the session's
+// overlay lists; the shared structures themselves are never written.
 func (nw *Network) detach(n *BetaNode) {
 	removeChild := func(list []*BetaNode) []*BetaNode {
 		for i, c := range list {
@@ -77,15 +110,31 @@ func (nw *Network) detach(n *BetaNode) {
 		}
 		return list
 	}
+	unparent := func(p *BetaNode) {
+		if nw.sharedBeta(p) {
+			nw.sfx.betaKids[p.ID] = removeChild(nw.sfx.betaKids[p.ID])
+			return
+		}
+		p.Children = removeChild(p.Children)
+	}
 	if n.Parent != nil {
-		n.Parent.Children = removeChild(n.Parent.Children)
+		unparent(n.Parent)
+	} else if nw.top.frozen {
+		if nw.sfx != nil {
+			nw.sfx.topNodes = removeChild(nw.sfx.topNodes)
+		}
 	} else {
-		nw.topNodes = removeChild(nw.topNodes)
+		nw.top.topNodes = removeChild(nw.top.topNodes)
 	}
 	if n.Kind == KindJoinBB && n.RightParent != nil {
-		n.RightParent.Children = removeChild(n.RightParent.Children)
+		unparent(n.RightParent)
 	}
 	if n.Alpha != nil {
+		if nw.sharedID(n.Alpha.ID) {
+			succs := nw.sfx.alphaSuccs[n.Alpha.ID]
+			nw.sfx.alphaSuccs[n.Alpha.ID] = removeChild(succs)
+			return
+		}
 		for i, s := range n.Alpha.Succs {
 			if s == n {
 				n.Alpha.Succs = append(n.Alpha.Succs[:i:i], n.Alpha.Succs[i+1:]...)

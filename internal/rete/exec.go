@@ -134,8 +134,19 @@ type emitter struct {
 }
 
 func (em *emitter) emit(from *BetaNode, tok *Token, op wme.Op) {
+	em.emitTo(from, from.Children, tok, op)
+	if sfx := em.nw.sfx; sfx != nil {
+		// Session-private suffix children spliced under a frozen prefix
+		// node (chunk splice); nil for non-chunking sessions.
+		if kids := sfx.betaKids[from.ID]; len(kids) > 0 {
+			em.emitTo(from, kids, tok, op)
+		}
+	}
+}
+
+func (em *emitter) emitTo(from *BetaNode, children []*BetaNode, tok *Token, op wme.Op) {
 	nw := em.nw
-	for _, c := range from.Children {
+	for _, c := range children {
 		dir := DirLeft
 		if c.Kind == KindJoinBB && c.RightParent == from {
 			dir = DirRight

@@ -15,10 +15,18 @@ import (
 // count.
 func (nw *Network) FormatNetwork() string {
 	nw.mu.Lock()
-	tops := append([]*BetaNode(nil), nw.topNodes...)
+	tops := nw.topsOf()
 	classOf := map[NodeID]string{}
-	for cls, root := range nw.roots {
+	for cls, root := range nw.top.roots {
 		collectAlphaPaths(nw.Tab, nw.Tab.Name(cls), root, "", classOf)
+	}
+	if nw.sfx != nil {
+		for cls, root := range nw.sfx.roots {
+			collectAlphaPaths(nw.Tab, nw.Tab.Name(cls), root, "", classOf)
+		}
+		for id, am := range nw.sfx.alphaMemAt {
+			classOf[am.ID] = fmt.Sprintf("(suffix mem at alpha#%d)", id)
+		}
 	}
 	nw.mu.Unlock()
 
@@ -51,7 +59,7 @@ func (nw *Network) FormatNetwork() string {
 		case KindJoinBB:
 			fmt.Fprintf(&sb, "%sand-bb#%d (pair join, context depth %d)\n", indent, n.ID, n.BranchN)
 		}
-		for _, c := range n.Children {
+		for _, c := range nw.childrenOf(n) {
 			rec(c, depth+1)
 		}
 	}

@@ -78,9 +78,13 @@ type NetStats struct {
 	AlphaMisses atomic.Int64
 }
 
-// Network is a compiled Rete network plus its global token memories.
-// Construction and production addition are serialized (Soar adds chunks
-// only at quiescence); task execution is fully parallel.
+// Network is one session's view of a Rete network: a compiled topology —
+// privately owned while unfrozen, shared read-only across sessions once
+// frozen — plus this session's mutable match state (token tables, unlink
+// counters, conflict set) and, for sessions that chunk against a frozen
+// topology, a private copy-on-write suffix overlay. Construction and
+// production addition are serialized (Soar adds chunks only at quiescence);
+// task execution is fully parallel.
 type Network struct {
 	Tab  *value.Table
 	Reg  *wme.Registry
@@ -95,66 +99,91 @@ type Network struct {
 	// replaced, so the hot path reads it as a plain field.
 	Prof *Prof
 
-	mu        sync.Mutex // guards construction state below
-	nextID    NodeID
-	roots     map[value.Sym]*AlphaNode // class -> test tree root
-	alphaMems map[string]*AlphaMem     // canonical path key -> memory
-	prods     map[string]*Production
-	prodOrder []*Production
-	topNodes  []*BetaNode // first-CE nodes (dummy-top children)
-
-	nTwoInput int // join/not/ncc/bb node count (statistics)
+	mu  sync.Mutex // guards construction state (topology while unfrozen, suffix always)
+	top *Topology
+	sfx *suffix // lazily created CoW overlay; nil until this session chunks
 }
 
-// NewNetwork creates an empty network.
+// NewNetwork creates an empty network owning a fresh (unfrozen) topology.
 func NewNetwork(tab *value.Table, reg *wme.Registry, cs ConflictListener, opts Options) *Network {
 	if opts.HashLines <= 0 {
 		opts.HashLines = 1024
 	}
 	return &Network{
-		Tab:       tab,
-		Reg:       reg,
-		Mem:       NewMem(opts.HashLines),
-		Opts:      opts,
-		CS:        cs,
-		roots:     make(map[value.Sym]*AlphaNode),
-		alphaMems: make(map[string]*AlphaMem),
-		prods:     make(map[string]*Production),
+		Tab:  tab,
+		Reg:  reg,
+		Mem:  NewMem(opts.HashLines),
+		Opts: opts,
+		CS:   cs,
+		top: &Topology{
+			tab:       tab,
+			reg:       reg,
+			opts:      opts,
+			roots:     make(map[value.Sym]*AlphaNode),
+			alphaMems: make(map[string]*AlphaMem),
+			prods:     make(map[string]*Production),
+		},
 	}
 }
 
-// newID hands out the next monotone node ID (callers hold nw.mu).
+// newID hands out the next monotone node ID (callers hold nw.mu). Once the
+// topology is frozen, IDs continue from its maximum on the session-private
+// suffix: IDs only index this session's own state vectors, so two sessions
+// assigning the same suffix ID never interfere.
 func (nw *Network) newID() NodeID {
-	nw.nextID++
-	return nw.nextID
+	if nw.top.frozen {
+		sfx := nw.sfxOf()
+		sfx.nextID++
+		return sfx.nextID
+	}
+	nw.top.nextID++
+	return nw.top.nextID
 }
 
-// MaxNodeID returns the largest node ID assigned so far.
+// MaxNodeID returns the largest node ID assigned so far (shared or suffix).
 func (nw *Network) MaxNodeID() NodeID {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return nw.nextID
+	if nw.sfx != nil {
+		return nw.sfx.nextID
+	}
+	return nw.top.nextID
 }
 
 // TwoInputNodes returns the number of two-input nodes in the network.
 func (nw *Network) TwoInputNodes() int {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return nw.nTwoInput
+	n := nw.top.nTwoInput
+	if nw.sfx != nil {
+		n += nw.sfx.nTwoInput
+	}
+	return n
 }
 
-// Productions returns the compiled productions in definition order.
+// Productions returns the compiled productions in definition order: the
+// shared (base) productions followed by this session's suffix.
 func (nw *Network) Productions() []*Production {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return append([]*Production(nil), nw.prodOrder...)
+	out := append([]*Production(nil), nw.top.prodOrder...)
+	if nw.sfx != nil {
+		out = append(out, nw.sfx.prodOrder...)
+	}
+	return out
 }
 
 // Lookup returns a compiled production by name.
 func (nw *Network) Lookup(name string) *Production {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return nw.prods[name]
+	if p := nw.top.prods[name]; p != nil {
+		return p
+	}
+	if nw.sfx != nil {
+		return nw.sfx.prods[name]
+	}
+	return nil
 }
 
 // ---- alpha network ----
@@ -199,17 +228,22 @@ func sortAlphaTests(tests []AlphaTest) {
 
 // buildAlpha returns (creating as needed) the alpha memory for a class and
 // test sequence. Constant-test nodes are shared by path prefix; memories by
-// full path (callers hold nw.mu).
+// full path. Against a frozen topology the shared trees are traversed
+// read-only and anything missing is created in the session suffix (callers
+// hold nw.mu).
 func (nw *Network) buildAlpha(class value.Sym, tests []AlphaTest) *AlphaMem {
 	sortAlphaTests(tests)
 	key := alphaKey(class, tests)
-	if am, ok := nw.alphaMems[key]; ok {
+	if am, ok := nw.top.alphaMems[key]; ok {
 		return am
 	}
-	root := nw.roots[class]
+	if nw.top.frozen {
+		return nw.buildAlphaSuffix(class, tests, key)
+	}
+	root := nw.top.roots[class]
 	if root == nil {
 		root = &AlphaNode{ID: nw.newID()}
-		nw.roots[class] = root
+		nw.top.roots[class] = root
 	}
 	cur := root
 	for _, t := range tests {
@@ -231,7 +265,7 @@ func (nw *Network) buildAlpha(class value.Sym, tests []AlphaTest) *AlphaMem {
 		cur.Mem = &AlphaMem{ID: nw.newID(), key: key}
 	}
 	am := cur.Mem
-	nw.alphaMems[key] = am
+	nw.top.alphaMems[key] = am
 	return am
 }
 
@@ -244,17 +278,26 @@ type InjectFn func(n *BetaNode, w *wme.WME, op wme.Op)
 // inline (one-input nodes are cheap; the tasks PSM-E schedules are the
 // two-input activations — paper §2.2/§2.3).
 func (nw *Network) Inject(d wme.Delta, emit InjectFn) {
-	root := nw.roots[d.WME.Class]
-	if root == nil {
-		return
+	if root := nw.top.roots[d.WME.Class]; root != nil {
+		nw.walkAlpha(root, d, emit)
+	} else if sfx := nw.sfx; sfx != nil {
+		if root := sfx.roots[d.WME.Class]; root != nil {
+			nw.walkAlpha(root, d, emit)
+		}
 	}
-	nw.walkAlpha(root, d, emit)
 }
 
 func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
 	if n.Mem != nil {
 		for _, succ := range n.Mem.Succs {
 			emit(succ, d.WME, d.Op)
+		}
+		if sfx := nw.sfx; sfx != nil {
+			// Private suffix joins taking right input from this shared
+			// memory (a private memory's successors live in Succs above).
+			for _, succ := range sfx.alphaSuccs[n.Mem.ID] {
+				emit(succ, d.WME, d.Op)
+			}
 		}
 	}
 	// Hashed dispatch: one map probe per field any equality child tests,
@@ -272,6 +315,22 @@ func (nw *Network) walkAlpha(n *AlphaNode, d wme.Delta, emit InjectFn) {
 		nw.Stats.ConstTests.Add(1)
 		if c.Test.matches(d.WME.Field) {
 			nw.walkAlpha(c, d, emit)
+		}
+	}
+	if sfx := nw.sfx; sfx != nil && nw.sharedID(n.ID) {
+		// Copy-on-write overlay of a frozen prefix node: a private memory
+		// spliced at a shared interior node, and private constant-test
+		// children (scanned linearly — suffix fanout is chunk-sized).
+		if am := sfx.alphaMemAt[n.ID]; am != nil {
+			for _, succ := range am.Succs {
+				emit(succ, d.WME, d.Op)
+			}
+		}
+		for _, c := range sfx.alphaKids[n.ID] {
+			nw.Stats.ConstTests.Add(1)
+			if c.Test.matches(d.WME.Field) {
+				nw.walkAlpha(c, d, emit)
+			}
 		}
 	}
 }
@@ -292,10 +351,11 @@ func (nw *Network) ResetMatchState() {
 	nw.Prof.Grow(int(nw.MaxNodeID()) + 1)
 }
 
-// WalkBeta visits every beta node reachable from the top, once.
+// WalkBeta visits every beta node reachable from the top, once — shared
+// prefix and session suffix both.
 func (nw *Network) WalkBeta(fn func(*BetaNode)) {
 	nw.mu.Lock()
-	tops := append([]*BetaNode(nil), nw.topNodes...)
+	tops := nw.topsOf()
 	nw.mu.Unlock()
 	seen := make(map[NodeID]bool)
 	var rec func(n *BetaNode)
@@ -305,7 +365,7 @@ func (nw *Network) WalkBeta(fn func(*BetaNode)) {
 		}
 		seen[n.ID] = true
 		fn(n)
-		for _, c := range n.Children {
+		for _, c := range nw.childrenOf(n) {
 			rec(c)
 		}
 		if n.Partner != nil && n.Kind == KindNCC {

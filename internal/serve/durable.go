@@ -219,6 +219,9 @@ type RestoreResult struct {
 	Cycles   int     `json:"cycles"`   // session cycle count after restore
 	Replayed int     `json:"replayed"` // WAL records re-executed
 	Seconds  float64 `json:"seconds"`
+	// CacheHit marks a warm restore: the session's base topology was
+	// already compiled on this server, so the restore paid no compile.
+	CacheHit bool `json:"cache_hit"`
 }
 
 // saveSnapshot exports the session into its store and truncates the WAL.
@@ -302,7 +305,7 @@ func (s *Server) restoreSession(id string) (*RestoreResult, int, error) {
 	}()
 
 	start := time.Now()
-	ss, replayed, err := s.rebuildSession(id)
+	ss, replayed, cacheHit, err := s.rebuildSession(id)
 	if err != nil {
 		s.mRestoreFailed.Inc()
 		if ss != nil && ss.eng != nil {
@@ -333,37 +336,47 @@ func (s *Server) restoreSession(id string) (*RestoreResult, int, error) {
 	s.mRestored.Inc()
 	s.mRestoreSecs.Observe(d.Seconds())
 	s.mReplayed.Add(uint64(replayed))
+	if ss.eng.Image() != nil {
+		s.noteCacheLookup(cacheHit)
+	}
 	if s.cfg.Log != nil {
+		temp := "cold"
+		if cacheHit {
+			temp = "warm"
+		}
 		s.cfg.Log.Info("session restored", "session", id, "task", ss.Task,
-			"cycles", ss.cycles, "replayed", replayed, "dur", d)
+			"cycles", ss.cycles, "replayed", replayed, "image", temp, "dur", d)
 	}
 	return &RestoreResult{ID: id, Task: ss.Task, Cycles: ss.cycles,
-		Replayed: replayed, Seconds: d.Seconds()}, http.StatusOK, nil
+		Replayed: replayed, Seconds: d.Seconds(), CacheHit: cacheHit}, http.StatusOK, nil
 }
 
 // rebuildSession does the heavy lifting of restoreSession: decode the
 // image, rebuild the engine by serial replay, resurrect task state, and
 // re-execute the WAL suffix. The returned session is not yet registered.
-func (s *Server) rebuildSession(id string) (*Session, int, error) {
+// cacheHit reports whether the base topology came warm out of the image
+// cache (one compile per program per server, however many sessions fail
+// over at once).
+func (s *Server) rebuildSession(id string) (*Session, int, bool, error) {
 	dir := filepath.Join(s.cfg.DataDir, id)
 	data, err := os.ReadFile(filepath.Join(dir, "image.json"))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	var img SessionImage
 	if err := snapshot.Open(data, &img); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if img.ID != id {
-		return nil, 0, fmt.Errorf("serve: image in %s is for session %q", dir, img.ID)
+		return nil, 0, false, fmt.Errorf("serve: image in %s is for session %q", dir, img.ID)
 	}
 	ecfg, err := s.engineConfig(&img.Create)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	eng, err := snapshot.Restore(img.Engine, ecfg)
+	eng, cacheHit, err := snapshot.RestoreWithCache(img.Engine, ecfg, s.images)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	created, err := time.Parse(time.RFC3339Nano, img.Created)
 	if err != nil {
@@ -392,11 +405,11 @@ func (s *Server) rebuildSession(id string) (*Session, int, error) {
 		}
 		ss.sys = cypress.Generate(p)
 		if img.Driver == nil {
-			return ss, 0, fmt.Errorf("serve: cypress image for %s has no driver state", id)
+			return ss, 0, cacheHit, fmt.Errorf("serve: cypress image for %s has no driver state", id)
 		}
 		drv, err := cypress.RestoreDriver(ss.sys, eng.Tab, eng.WM, img.Driver)
 		if err != nil {
-			return ss, 0, err
+			return ss, 0, cacheHit, err
 		}
 		ss.drv = drv
 	}
@@ -407,7 +420,7 @@ func (s *Server) rebuildSession(id string) (*Session, int, error) {
 	// restore must fail rather than silently diverge.
 	recs, err := readWAL(filepath.Join(dir, "wal.jsonl"))
 	if err != nil {
-		return ss, 0, err
+		return ss, 0, cacheHit, err
 	}
 	replayed := 0
 	ss.replaying = true
@@ -417,11 +430,11 @@ func (s *Server) rebuildSession(id string) (*Session, int, error) {
 		}
 		if rec.Cycle > ss.cycles {
 			ss.replaying = false
-			return ss, replayed, fmt.Errorf("serve: WAL gap for %s: record at cycle %d, session at %d", id, rec.Cycle, ss.cycles)
+			return ss, replayed, cacheHit, fmt.Errorf("serve: WAL gap for %s: record at cycle %d, session at %d", id, rec.Cycle, ss.cycles)
 		}
 		if rec.Run == nil {
 			ss.replaying = false
-			return ss, replayed, fmt.Errorf("serve: WAL record for %s at cycle %d has no request", id, rec.Cycle)
+			return ss, replayed, cacheHit, fmt.Errorf("serve: WAL record for %s at cycle %d has no request", id, rec.Cycle)
 		}
 		// Replay errors mirror the original execution: a request that
 		// failed validation then fails identically now, leaving the same
@@ -434,10 +447,10 @@ func (s *Server) rebuildSession(id string) (*Session, int, error) {
 
 	st, err := openStore(dir)
 	if err != nil {
-		return ss, replayed, err
+		return ss, replayed, cacheHit, err
 	}
 	ss.store = st
-	return ss, replayed, nil
+	return ss, replayed, cacheHit, nil
 }
 
 // deleteDurable removes a deleted session's on-disk state.

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"soarpsme/internal/engine"
+)
+
+// TestImageCacheAcrossSessions: sessions of one program share a single
+// compiled image — the first create compiles, the rest stamp out state —
+// and /debug/match surfaces the cache counters.
+func TestImageCacheAcrossSessions(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2, Processes: 2})
+
+	ids := make([]string, 3)
+	for i := range ids {
+		var created CreateResult
+		if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc}, &created); code != http.StatusCreated {
+			t.Fatalf("create %d: %d", i, code)
+		}
+		ids[i] = created.ID
+	}
+	st := s.ImageCacheStats()
+	if st.Misses != 1 || st.Hits != 2 || st.Live != 1 || st.Sessions != 3 {
+		t.Fatalf("cache after 3 same-program creates: %+v", st)
+	}
+
+	// A different program is a second image.
+	if code, _ := doJSON(t, "POST", ts.URL+"/sessions", CreateRequest{Program: serveProgSrc + "\n(p extra (fact ^v 1) --> (make seen ^v x))"}, nil); code != http.StatusCreated {
+		t.Fatalf("create with new program: %d", code)
+	}
+	if st = s.ImageCacheStats(); st.Misses != 2 || st.Live != 2 {
+		t.Fatalf("cache after distinct program: %+v", st)
+	}
+
+	// Deleting a session releases its reference but keeps the image warm.
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/sessions/"+ids[0], nil, nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if st = s.ImageCacheStats(); st.Sessions != 3 || st.Live != 2 {
+		t.Fatalf("cache after delete: %+v", st)
+	}
+
+	var dbg struct {
+		ImageCache *engine.CacheStats `json:"image_cache"`
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/debug/match", nil, &dbg); code != http.StatusOK || dbg.ImageCache == nil {
+		t.Fatalf("/debug/match image_cache: code=%d stats=%+v", code, dbg.ImageCache)
+	}
+	if dbg.ImageCache.Live != 2 {
+		t.Fatalf("/debug/match image_cache = %+v", dbg.ImageCache)
+	}
+}
+
+// TestRestoreStormWarm is the failover storm in miniature: a backend
+// hosting many sessions of ONE program dies, and a cold survivor restores
+// them all. Only the first restore compiles the program; every subsequent
+// one must report a warm cache hit.
+func TestRestoreStormWarm(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := crashableServer(t, dir)
+	const storm = 8
+	for i := 0; i < storm; i++ {
+		seedSession(t, tsA.URL, fmt.Sprintf("storm%d", i))
+	}
+	tsA.Close() // crash
+
+	_, tsB := testServer(t, Config{Workers: 2, Processes: 2, DataDir: dir})
+	warm := 0
+	for i := 0; i < storm; i++ {
+		var rr RestoreResult
+		if code, _ := doJSON(t, "POST", tsB.URL+"/sessions/"+fmt.Sprintf("storm%d", i)+"/restore", nil, &rr); code != http.StatusOK {
+			t.Fatalf("restore %d: %d", i, code)
+		}
+		if rr.CacheHit {
+			warm++
+		} else if i > 0 {
+			t.Fatalf("restore %d was cold; survivor should compile once per program", i)
+		}
+	}
+	if warm != storm-1 {
+		t.Fatalf("%d/%d warm restores, want %d", warm, storm, storm-1)
+	}
+}

@@ -82,6 +82,10 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	budget *prun.Budget
+	// images caches compiled program topologies by canonical program hash:
+	// every session of one program shares a single immutable rete graph,
+	// so creates and failover restores past the first pay no compile.
+	images *engine.ImageCache
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -107,6 +111,9 @@ type Server struct {
 	mWALAppends    *obs.Counter
 	mWALBytes      *obs.Counter
 	mWALFsync      *obs.Histogram
+	mImgHits       *obs.Counter
+	mImgMisses     *obs.Counter
+	mImgLive       *obs.Gauge
 }
 
 // New builds a server with an empty session table.
@@ -129,6 +136,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		budget:    prun.NewBudget(cfg.Workers),
+		images:    engine.NewImageCache(),
 		sessions:  map[string]*Session{},
 		restoring: map[string]bool{},
 	}
@@ -147,6 +155,9 @@ func New(cfg Config) *Server {
 		s.mWALAppends = o.Counter("serve_wal_appends_total")
 		s.mWALBytes = o.Counter("serve_wal_bytes_total")
 		s.mWALFsync = o.Histogram("serve_wal_fsync_seconds")
+		s.mImgHits = o.Counter("rete_image_cache_hits_total")
+		s.mImgMisses = o.Counter("rete_image_cache_misses_total")
+		s.mImgLive = o.Gauge("rete_images_live")
 		// HTTP request spans render on their own trace lane.
 		o.Tracer().SetProcessName(servePid, "soarpsme serve")
 		o.Tracer().SetThreadName(servePid, 0, "http")
@@ -188,6 +199,7 @@ func (s *Server) Close() {
 	}
 	for _, ss := range all {
 		<-ss.done
+		s.sessionClosed(ss)
 		if ss.store != nil {
 			if res, err := ss.saveSnapshot(); err != nil {
 				if s.cfg.Log != nil {
@@ -481,6 +493,46 @@ func (s *Server) engineConfig(req *CreateRequest) (engine.Config, error) {
 	return ecfg, nil
 }
 
+// imageEngine stamps out a session engine over the shared compiled image
+// for src — compiling the program only if no session has used it before —
+// and runs its startup actions. The engine holds a cache reference;
+// sessionClosed releases it.
+func (s *Server) imageEngine(src string, ecfg engine.Config) (*engine.Engine, error) {
+	img, hit, err := s.images.Get(src, ecfg.Rete)
+	if err != nil {
+		return nil, err
+	}
+	s.noteCacheLookup(hit)
+	eng := engine.NewFromImage(img, ecfg)
+	if err := eng.RunStartup(); err != nil {
+		s.images.Release(img)
+		return nil, err
+	}
+	return eng, nil
+}
+
+// noteCacheLookup mirrors one image-cache lookup into the service metrics.
+func (s *Server) noteCacheLookup(hit bool) {
+	if hit {
+		s.mImgHits.Inc()
+	} else {
+		s.mImgMisses.Inc()
+	}
+	if s.mImgLive != nil {
+		s.mImgLive.Set(float64(s.images.Stats().Live))
+	}
+}
+
+// sessionClosed returns a session's shared-image reference after its loop
+// has exited (delete or server close).
+func (s *Server) sessionClosed(ss *Session) {
+	s.images.Release(ss.eng.Image())
+}
+
+// ImageCacheStats exposes the compiled-image cache counters (tests and
+// /debug/match read them).
+func (s *Server) ImageCacheStats() engine.CacheStats { return s.images.Stats() }
+
 // validSessionID accepts ids that are safe as path segments and
 // directory names: letters, digits, ".", "_", "-", not starting with a
 // dot, at most 64 bytes.
@@ -532,8 +584,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			p = *req.Params
 		}
 		sys := cypress.Generate(p)
-		eng := engine.New(ecfg)
-		if err := eng.LoadProgram(sys.Source); err != nil {
+		eng, err := s.imageEngine(sys.Source, ecfg)
+		if err != nil {
 			writeErr(w, http.StatusBadRequest, "cypress program: %v", err)
 			return
 		}
@@ -543,8 +595,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ss.drv = cypress.NewDriver(sys, eng.Tab, eng.WM)
 		prods = sys.Params.Productions
 	case req.Task == "" && req.Program != "":
-		eng := engine.New(ecfg)
-		if err := eng.LoadProgram(req.Program); err != nil {
+		eng, err := s.imageEngine(req.Program, ecfg)
+		if err != nil {
 			writeErr(w, http.StatusBadRequest, "program: %v", err)
 			return
 		}
@@ -562,6 +614,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		frac := float64(len(s.sessions)) / float64(s.cfg.MaxSessions)
 		s.mu.Unlock()
+		s.images.Release(ss.eng.Image())
 		s.mRejected.Inc()
 		w.Header().Set("Retry-After", retryAfterHint(frac, s.budgetFrac()))
 		writeErr(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
@@ -570,6 +623,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.ID != "" {
 		if s.sessions[req.ID] != nil || s.restoring[req.ID] {
 			s.mu.Unlock()
+			s.images.Release(ss.eng.Image())
 			writeErr(w, http.StatusConflict, "session %q already exists", req.ID)
 			return
 		}
@@ -597,6 +651,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	delete(s.restoring, ss.ID)
 	if persistErr != nil {
 		s.mu.Unlock()
+		s.images.Release(ss.eng.Image())
 		writeErr(w, http.StatusInternalServerError, "persisting session: %v", persistErr)
 		return
 	}
@@ -820,6 +875,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.shutdown()
 	<-ss.done
+	s.sessionClosed(ss)
 	if err := ss.deleteDurable(); err != nil && s.cfg.Log != nil {
 		s.cfg.Log.Error("deleting durable state", "session", id, "err", err)
 	}
@@ -856,8 +912,9 @@ func (s *Server) handleDebugMatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"sessions":  snaps,
-		"aggregate": matchprof.Merge(snaps),
+		"sessions":    snaps,
+		"aggregate":   matchprof.Merge(snaps),
+		"image_cache": s.images.Stats(),
 	})
 }
 

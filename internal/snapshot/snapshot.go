@@ -18,13 +18,16 @@ import (
 	"soarpsme/internal/conflict"
 	"soarpsme/internal/engine"
 	"soarpsme/internal/ops5"
+	"soarpsme/internal/rete"
 	"soarpsme/internal/value"
 	"soarpsme/internal/wme"
 )
 
 // FormatVersion is the image format version; Decode rejects images whose
-// version it does not understand.
-const FormatVersion = 1
+// version it does not understand. Version 2 added compiled-image fields
+// (BaseHash, Chunks, Schema, TopoSig); version-1 images are still readable
+// and restore through the standalone path.
+const FormatVersion = 2
 
 // envelope wraps any payload with a format version and a CRC32 (Castagnoli)
 // over the raw payload bytes, so torn or corrupted files fail loudly
@@ -57,8 +60,8 @@ func Open(data []byte, out any) error {
 	if err := json.Unmarshal(data, &env); err != nil {
 		return fmt.Errorf("snapshot: bad envelope: %w", err)
 	}
-	if env.Version != FormatVersion {
-		return fmt.Errorf("snapshot: format version %d, want %d", env.Version, FormatVersion)
+	if env.Version < 1 || env.Version > FormatVersion {
+		return fmt.Errorf("snapshot: format version %d, want 1..%d", env.Version, FormatVersion)
 	}
 	if got := crc32.Checksum(env.Payload, crcTable); got != env.CRC {
 		return fmt.Errorf("snapshot: checksum mismatch: payload crc %08x, envelope says %08x", got, env.CRC)
@@ -105,6 +108,12 @@ func decodeValue(tab *value.Table, r ValueRec) (value.Value, error) {
 	}
 }
 
+// SchemaRec is one class's attribute list in schema (field-index) order.
+type SchemaRec struct {
+	Class string   `json:"class"`
+	Attrs []string `json:"attrs"`
+}
+
 // WMERec is one working-memory element in portable form. Identity and
 // time tag are preserved exactly: refraction entries and conflict-set
 // fingerprints are keyed by time tag, so a restore that re-tagged wmes
@@ -144,7 +153,30 @@ type Image struct {
 	// in the network — including runtime-added chunks — printed via
 	// ops5.Format. It deliberately has no startup section; loading it must
 	// not touch working memory.
+	//
+	// For engines created from a shared compiled image, Program is instead
+	// the image's exact original source: its hash is the image-cache key, so
+	// a restoring node with the image already compiled pays no compile at
+	// all. Runtime-added chunks then live in Chunks, and Schema pins the
+	// field-index order (see those fields).
 	Program string `json:"program"`
+
+	// BaseHash, when non-empty, marks an image-backed snapshot: it is the
+	// canonical hash of Program under the exporting engine's structural
+	// options. Restore recompiles (or cache-hits) the base image and fails
+	// loudly if the hash or topology signature diverges.
+	BaseHash string `json:"baseHash,omitempty"`
+	// Chunks holds the OPS5 source of every production the session spliced
+	// onto its private suffix at runtime, in addition order.
+	Chunks []string `json:"chunks,omitempty"`
+	// Schema records every class's attribute list in registry order. Field
+	// indices are positional and runtime firings may have extended schemas
+	// in firing order, so restore re-imposes this exact order before any
+	// wme is decoded.
+	Schema []SchemaRec `json:"schema,omitempty"`
+	// TopoSig is the base topology's shape signature at export; restore
+	// verifies the recompiled image matches it.
+	TopoSig *rete.Sig `json:"topoSig,omitempty"`
 
 	WMEs    []WMERec `json:"wmes"`
 	NextID  uint64   `json:"nextId"`
@@ -197,13 +229,37 @@ func ProgramSource(e *engine.Engine) string {
 // exporting from the session command loop.
 func Export(e *engine.Engine) *Image {
 	img := &Image{
-		Program:   ProgramSource(e),
 		Fired:     e.CS.ExportFired(),
 		Halted:    e.Halted(),
 		Gensym:    e.Gensym(),
 		FireCount: e.Fired,
 		BadDeltas: e.BadDeltas,
 		Cycles:    len(e.CycleStats),
+	}
+	if base := e.Image(); base != nil {
+		// Image-backed engine: record the original source (its hash is the
+		// cache key), the suffix chunks, and the schema order instead of a
+		// regenerated monolithic program.
+		img.Program = base.Source
+		img.BaseHash = base.Hash
+		for _, p := range e.NW.SuffixProductions() {
+			img.Chunks = append(img.Chunks, ops5.Format(p.AST, e.Tab))
+		}
+		for _, cls := range e.Reg.Classes() {
+			s := e.Reg.Get(cls, false)
+			if s == nil {
+				continue
+			}
+			rec := SchemaRec{Class: e.Tab.Name(cls)}
+			for _, a := range s.Attrs() {
+				rec.Attrs = append(rec.Attrs, e.Tab.Name(a))
+			}
+			img.Schema = append(img.Schema, rec)
+		}
+		sig := base.Top.Signature()
+		img.TopoSig = &sig
+	} else {
+		img.Program = ProgramSource(e)
 	}
 	img.NextID, img.NextTag = e.WM.Counters()
 	all := e.WM.All()
@@ -226,35 +282,114 @@ func Decode(data []byte) (*Image, error) {
 	return &img, nil
 }
 
-// Restore builds a fresh engine from an image: load the generated program
-// (no startup actions, so WM stays empty), re-insert the recorded wmes
-// with their original identities, rebuild all match state by serial
-// replay, then re-mark refraction. The result is byte-identical to the
-// exporting engine: same conflict set, same fingerprints, same counters.
+// Restore builds a fresh engine from an image. Image-backed snapshots
+// (BaseHash set) compile their base program directly; use RestoreWithCache
+// to share compiled topologies across restores. The result is
+// byte-identical to the exporting engine: same conflict set, same
+// fingerprints, same counters.
 func Restore(img *Image, cfg engine.Config) (*engine.Engine, error) {
-	e := engine.New(cfg)
-	if err := e.LoadProgram(img.Program); err != nil {
-		return nil, fmt.Errorf("snapshot: reloading program: %w", err)
+	e, _, err := RestoreWithCache(img, cfg, nil)
+	return e, err
+}
+
+// RestoreWithCache restores an engine, resolving image-backed snapshots
+// through cache (which may be nil to force a private compile). cacheHit
+// reports whether the base topology came out of the cache without a
+// compile. A recompiled base whose program hash or topology signature
+// diverges from the snapshot's record fails loudly: restoring state
+// vectors against a different graph would be silent corruption.
+func RestoreWithCache(img *Image, cfg engine.Config, cache *engine.ImageCache) (*engine.Engine, bool, error) {
+	if img.BaseHash == "" {
+		// v1 / standalone snapshot: the program is self-contained (schema
+		// order and chunks are baked into the generated source).
+		e := engine.New(cfg)
+		if err := e.LoadProgram(img.Program); err != nil {
+			return nil, false, fmt.Errorf("snapshot: reloading program: %w", err)
+		}
+		if err := restoreState(e, img); err != nil {
+			return nil, false, err
+		}
+		return e, false, nil
 	}
+
+	var (
+		base *engine.ProgramImage
+		hit  bool
+		err  error
+	)
+	if cache != nil {
+		base, hit, err = cache.Get(img.Program, cfg.Rete)
+	} else {
+		base, err = engine.CompileProgram(img.Program, cfg.Rete)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: compiling base image: %w", err)
+	}
+	if base.Hash != img.BaseHash {
+		return nil, hit, fmt.Errorf("snapshot: base image hash mismatch: compiled %s, snapshot recorded %s (structural options differ?)",
+			base.Hash, img.BaseHash)
+	}
+	if img.TopoSig != nil {
+		if got := base.Top.Signature(); got != *img.TopoSig {
+			return nil, hit, fmt.Errorf("snapshot: topology mismatch on restore: compiled [%s], snapshot recorded [%s] — refusing to restore state against a divergent image",
+				got, *img.TopoSig)
+		}
+	}
+
+	e := engine.NewFromImage(base, cfg)
+	// Re-impose the recorded schema order before anything else touches the
+	// registry: field indices are positional, and runtime firings extend
+	// schemas in firing order, which the shared image cannot know about.
+	for _, rec := range img.Schema {
+		attrs := make([]value.Sym, len(rec.Attrs))
+		for i, a := range rec.Attrs {
+			attrs[i] = e.Tab.Intern(a)
+		}
+		e.Reg.Declare(e.Tab.Intern(rec.Class), attrs...)
+	}
+	// Splice the session's runtime chunks onto a private suffix. Working
+	// memory is still empty here, so the §5.2 state update is a no-op and
+	// the chunks pick up their state from RebuildMatchState below.
+	for i, src := range img.Chunks {
+		prog, perr := ops5.Parse(src, e.Tab)
+		if perr != nil {
+			return nil, hit, fmt.Errorf("snapshot: parsing chunk %d: %w", i, perr)
+		}
+		for _, p := range prog.Productions {
+			if _, aerr := e.AddProductionRuntime(p); aerr != nil {
+				return nil, hit, fmt.Errorf("snapshot: restoring chunk %d: %w", i, aerr)
+			}
+		}
+	}
+	if err := restoreState(e, img); err != nil {
+		return nil, hit, err
+	}
+	return e, hit, nil
+}
+
+// restoreState re-inserts the recorded wmes with their original
+// identities, rebuilds all match state by serial replay, then re-marks
+// refraction and counters.
+func restoreState(e *engine.Engine, img *Image) error {
 	for _, wr := range img.WMEs {
 		w, err := decodeWME(e.Tab, wr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := e.WM.Insert(w); err != nil {
-			return nil, fmt.Errorf("snapshot: restoring wme %d: %w", wr.ID, err)
+			return fmt.Errorf("snapshot: restoring wme %d: %w", wr.ID, err)
 		}
 	}
 	e.WM.SetCounters(img.NextID, img.NextTag)
 	e.RebuildMatchState()
 	if err := e.CS.RestoreFired(img.Fired); err != nil {
-		return nil, err
+		return err
 	}
 	e.SetHalted(img.Halted)
 	e.SetGensym(img.Gensym)
 	e.Fired = img.FireCount
 	e.BadDeltas = img.BadDeltas
-	return e, nil
+	return nil
 }
 
 // DeltaRec is one recorded working-memory change, replayable against a

@@ -2,6 +2,7 @@ package snapshot_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -154,7 +155,8 @@ func TestEnvelopeRejectsCorruption(t *testing.T) {
 		t.Fatal("truncated image decoded without error")
 	}
 
-	futur := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":99`), 1)
+	futur := bytes.Replace(data,
+		[]byte(fmt.Sprintf(`"version":%d`, snapshot.FormatVersion)), []byte(`"version":99`), 1)
 	if _, err := snapshot.Decode(futur); err == nil {
 		t.Fatal("future-version image decoded without error")
 	} else if !strings.Contains(err.Error(), "version") {
