@@ -59,6 +59,38 @@ func TestCompareStrict(t *testing.T) {
 	}
 }
 
+// TestBilinearGatePerTask pins the bilinear gate's unit: it must compare
+// per-task ns (ns/op ÷ tasks/op), not raw ns/op — bilinear=auto schedules
+// ~20x more tasks per op by design, so a raw comparison would fail by
+// construction while heavier *tasks* would slip through.
+func TestBilinearGatePerTask(t *testing.T) {
+	pair := func(offNs, offTasks, onNs, onTasks float64) []result {
+		return []result{
+			{Name: "Bilinear/cypress/bilinear=off", NsPerOp: offNs, Extra: map[string]float64{"tasks/op": offTasks}},
+			{Name: "Bilinear/cypress/bilinear=auto", NsPerOp: onNs, Extra: map[string]float64{"tasks/op": onTasks}},
+		}
+	}
+	// 20x slower raw but 55x the tasks: per-task cost shrank, must pass.
+	if fails := bilinearGate(nil, pair(1e6, 400, 20e6, 22000), 0.10); len(fails) != 0 {
+		t.Fatalf("cheaper per-task cost should pass: %v", fails)
+	}
+	// Same ns/op ratio but task count did NOT grow: tasks got 20x heavier,
+	// must fail (no bench funcs registered, so no re-measure kicks in).
+	if fails := bilinearGate(nil, pair(1e6, 400, 20e6, 400), 0.10); len(fails) != 1 {
+		t.Fatalf("heavier per-task cost should fail: %v", fails)
+	}
+	// Within tolerance passes.
+	if fails := bilinearGate(nil, pair(1e6, 400, 2.18e6, 800), 0.10); len(fails) != 0 {
+		t.Fatalf("+9%% per-task growth should pass: %v", fails)
+	}
+	// Missing tasks/op extra on either side: no basis, gate skips.
+	rs := pair(1e6, 400, 20e6, 22000)
+	rs[0].Extra = nil
+	if fails := bilinearGate(nil, rs, 0.10); len(fails) != 0 {
+		t.Fatalf("missing tasks/op should skip, not fail: %v", fails)
+	}
+}
+
 // TestCompareTolerance pins the gate semantics strict mode must not change:
 // growth within the tolerance passes, above it fails, and shrinkage passes.
 func TestCompareTolerance(t *testing.T) {

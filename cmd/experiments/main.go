@@ -22,6 +22,7 @@ import (
 	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
 	"soarpsme/internal/stats"
 )
 
@@ -66,6 +67,7 @@ var runners = []runner{
 	{"abl-mem", "ablation: hashed vs linear memories (6.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationMemories(l) })},
 	{"abl-share", "ablation: node sharing (5.1)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationSharing(l) })},
 	{"abl-unlink", "ablation: left/right unlinking + hashed alpha dispatch", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationUnlink(l) })},
+	{"abl-bilinear", "ablation: automatic bilinear restructuring (6-8, cypress)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationBilinear(l) })},
 	{"abl-async", "future work: asynchronous elaboration (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAsync(l) })},
 	{"abl-queues", "scheduling: per-cycle oracle queue counts (6.2)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.AblationAdaptiveQueues(l) })},
 	{"diagnose", "diagnostics: causes of low-speedup cycles (7)", str(func(l *exp.Lab) (fmt.Stringer, error) { return exp.DiagnoseTable(l) })},
@@ -79,6 +81,7 @@ func main() {
 	outPath := flag.String("out", "", "write output to file instead of stdout")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	unlink := flag.Bool("unlink", true, "left/right unlinking in the capture engines (pass -unlink=false to reproduce the paper's full task volume: its engine scheduled every null activation)")
+	bilinear := flag.String("bilinear", "off", "bilinear restructuring in the capture engines: off, all, or auto (abl-bilinear sweeps all three regardless)")
 	faultSeed := flag.Int64("fault-seed", 0, "inject a seeded fault schedule into the capture engines (0 = off); failed cycles recover via the serial fallback, so results are unchanged")
 	deadline := flag.Duration("deadline", 0, "per-cycle quiescence watchdog deadline for the capture engines (0 = off)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the captured runs")
@@ -109,6 +112,12 @@ func main() {
 	l := exp.NewLab()
 	l.SetObserver(observer)
 	l.SetUnlink(*unlink)
+	org, err := rete.ParseOrganization(*bilinear)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	l.SetOrganization(org)
 	if *unlink {
 		fmt.Fprintln(os.Stderr, ";; note: null-activation filter on (the default); the paper's engine"+
 			" scheduled every null activation, so figures that measure task volume or"+

@@ -18,6 +18,7 @@ import (
 	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	noshare := flag.Bool("noshare", false, "disable two-input node sharing")
 	unlink := flag.Bool("unlink", true, "left/right unlinking: run activations against provably empty opposite memories inline instead of scheduling tasks")
+	bilinear := flag.String("bilinear", "off", "bilinear restructuring: off, all, or auto (restructure productions whose join chain reaches -bilinear-depth)")
+	bilinearDepth := flag.Int("bilinear-depth", 0, "auto-bilinear selection threshold in positive+negated CEs (0 = default 16)")
 	showStats := flag.Bool("stats", false, "print match statistics")
 	maxCycles := flag.Int("cycles", 10000, "recognize-act cycle bound")
 	watch := flag.Int("watch", 0, "trace level: 1 = firings, 2 = +wme changes")
@@ -71,6 +74,13 @@ func main() {
 	}
 	cfg.Rete.ShareBeta = !*noshare
 	cfg.Rete.Unlink = *unlink
+	org, err := rete.ParseOrganization(*bilinear)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psme:", err)
+		os.Exit(2)
+	}
+	cfg.Rete.Organization = org
+	cfg.Rete.BilinearDepth = *bilinearDepth
 	if *faultSeed != 0 {
 		cfg.Fault = fault.Seeded(*faultSeed, fault.DefaultRates())
 	}

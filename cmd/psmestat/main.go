@@ -144,11 +144,17 @@ func renderSnapshot(s *matchprof.Snapshot, top int) {
 	}
 
 	fmt.Printf("\nhot productions (by attributed modeled cost):\n")
-	fmt.Printf("  %-4s %-28s %5s %5s %10s %8s %7s %8s %10s\n",
-		"#", "production", "chain", "nodes", "acts", "nulls", "null%", "cost%", "cost-us")
+	fmt.Printf("  %-4s %-28s %-5s %5s %5s %10s %8s %7s %8s %10s\n",
+		"#", "production", "shape", "chain", "nodes", "acts", "nulls", "null%", "cost%", "cost-us")
 	n := len(s.Productions)
 	if top > 0 && n > top {
 		n = top
+	}
+	restructured := 0
+	for _, p := range s.Productions {
+		if p.Restructured {
+			restructured++
+		}
 	}
 	for i := 0; i < n; i++ {
 		p := s.Productions[i]
@@ -156,17 +162,25 @@ func renderSnapshot(s *matchprof.Snapshot, top int) {
 		if len(name) > 28 {
 			name = name[:25] + "..."
 		}
-		fmt.Printf("  %-4d %-28s %5d %5d %10d %8d %6.1f%% %7.1f%% %10d\n",
-			i+1, name, p.ChainDepth, p.Nodes, p.Totals.Acts, p.Totals.Nulls,
+		shape := "lin"
+		if p.Restructured {
+			shape = "bilin"
+		}
+		fmt.Printf("  %-4d %-28s %-5s %5d %5d %10d %8d %6.1f%% %7.1f%% %10d\n",
+			i+1, name, shape, p.ChainDepth, p.Nodes, p.Totals.Acts, p.Totals.Nulls,
 			100*p.NullRate, 100*p.CostShare, p.Totals.Cost)
 	}
 	if len(s.Productions) > n {
 		fmt.Printf("  ... %d more\n", len(s.Productions)-n)
 	}
 	if s.Unattributed.Acts > 0 || s.Unattributed.Cost > 0 {
-		fmt.Printf("  %-4s %-28s %5s %5s %10d %8d %6.1f%% %7s %10d\n",
-			"-", "(unattributed)", "", "", s.Unattributed.Acts, s.Unattributed.Nulls,
+		fmt.Printf("  %-4s %-28s %-5s %5s %5s %10d %8d %6.1f%% %7s %10d\n",
+			"-", "(unattributed)", "", "", "", s.Unattributed.Acts, s.Unattributed.Nulls,
 			100*s.Unattributed.NullRate(), "", s.Unattributed.Cost)
+	}
+	if restructured > 0 {
+		fmt.Printf("  %d of %d production(s) bilinear-restructured (shape=bilin; chain is the longest root-to-P path through the pair-join tree)\n",
+			restructured, len(s.Productions))
 	}
 
 	fmt.Printf("\nchain-depth histogram (tasks by dependent-chain depth):\n")

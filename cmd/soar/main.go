@@ -20,6 +20,7 @@ import (
 	"soarpsme/internal/fault"
 	"soarpsme/internal/obs"
 	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
 	"soarpsme/internal/soar"
 	"soarpsme/internal/tasks/blocks"
 	"soarpsme/internal/tasks/eightpuzzle"
@@ -34,6 +35,8 @@ func main() {
 	policy := flag.String("policy", "", "scheduling policy: single-queue, multi-queue, or work-stealing (overrides -queues)")
 	chunking := flag.Bool("chunking", false, "enable chunking (during-chunking run)")
 	unlink := flag.Bool("unlink", true, "left/right unlinking: run activations against provably empty opposite memories inline instead of scheduling tasks")
+	bilinear := flag.String("bilinear", "off", "bilinear restructuring: off, all, or auto (restructure productions whose join chain reaches -bilinear-depth)")
+	bilinearDepth := flag.Int("bilinear-depth", 0, "auto-bilinear selection threshold in positive+negated CEs (0 = default 16)")
 	after := flag.Bool("after", false, "run again with the learned chunks (after-chunking run)")
 	decisions := flag.Int("decisions", 400, "decision-cycle bound")
 	dtrace := flag.Bool("dtrace", false, "print decision-level trace (formerly -trace)")
@@ -72,6 +75,13 @@ func main() {
 	cfg := soar.Config{Engine: engine.DefaultConfig(), Chunking: *chunking, MaxDecisions: *decisions}
 	cfg.Engine.Processes = *procs
 	cfg.Engine.Rete.Unlink = *unlink
+	org, err := rete.ParseOrganization(*bilinear)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soar:", err)
+		os.Exit(2)
+	}
+	cfg.Engine.Rete.Organization = org
+	cfg.Engine.Rete.BilinearDepth = *bilinearDepth
 	cfg.Engine.Policy = prun.MultiQueue
 	if *queues == "single" {
 		cfg.Engine.Policy = prun.SingleQueue

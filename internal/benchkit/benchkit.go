@@ -14,6 +14,7 @@ import (
 	"soarpsme/internal/exp"
 	"soarpsme/internal/matchprof"
 	"soarpsme/internal/prun"
+	"soarpsme/internal/rete"
 	"soarpsme/internal/soar"
 	"soarpsme/internal/tasks/cypress"
 	"soarpsme/internal/tasks/eightpuzzle"
@@ -38,6 +39,9 @@ type replayCfg struct {
 	// (internal/matchprof, flight recorder off) — the ProfilingCases pair
 	// measures their hot-path overhead against the unprofiled twin.
 	prof bool
+	// org selects the bilinear restructuring mode; the BilinearCases pair
+	// measures the off-vs-auto replay cost on the long-chain workload.
+	org rete.Organization
 }
 
 // capturedRun is a workload solved to quiescence plus its replayable
@@ -77,6 +81,7 @@ func engCfg(cfg replayCfg) engine.Config {
 	ec.Processes = 4
 	ec.Policy = cfg.pol
 	ec.Rete.Unlink = cfg.unlink
+	ec.Rete.Organization = cfg.org
 	if cfg.prof {
 		ec.Prof = &matchprof.Options{FlightCycles: -1}
 	}
@@ -222,6 +227,23 @@ func ProfilingCases() []Case {
 	return []Case{
 		{Name: "Profiling/eight-puzzle/off", Bench: replayBench(base)},
 		{Name: "Profiling/eight-puzzle/on", Bench: replayBench(on)},
+	}
+}
+
+// BilinearCases is the cypress long-chain replay bench twice: with the
+// automatic bilinear restructuring pass off (linear join chains) and in
+// auto mode (balanced pair-join trees). Everything else is shared.
+// Restructuring multiplies tasks/op by design — that is the paper's
+// work-for-parallelism trade — so cmd/benchjson gates the pair on per-task
+// ns (ns/op ÷ tasks/op) at -bilinear-tolerance, pinning down that the
+// extra serial wall-clock is purely more tasks, not heavier ones.
+func BilinearCases() []Case {
+	base := replayCfg{task: "cypress", pol: prun.WorkStealing, unlink: true}
+	auto := base
+	auto.org = rete.BilinearAuto
+	return []Case{
+		{Name: "Bilinear/cypress/bilinear=off", Bench: replayBench(base)},
+		{Name: "Bilinear/cypress/bilinear=auto", Bench: replayBench(auto)},
 	}
 }
 

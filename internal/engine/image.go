@@ -48,8 +48,9 @@ func (img *ProgramImage) Productions() int { return len(img.Top.Productions()) }
 // one image.
 func ProgramHash(src string, opts rete.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "share=%t org=%d ctx=%d grp=%d linmem=%t\n",
-		opts.ShareBeta, opts.Organization, opts.ContextCEs, opts.GroupCEs, opts.LinearMemories)
+	fmt.Fprintf(h, "share=%t org=%d ctx=%d grp=%d bdepth=%d linmem=%t\n",
+		opts.ShareBeta, opts.Organization, opts.ContextCEs, opts.GroupCEs,
+		opts.EffBilinearDepth(), opts.LinearMemories)
 	h.Write([]byte(src))
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -79,6 +79,56 @@ func AblationUnlink(l *Lab) (*stats.Table, error) {
 	return t, nil
 }
 
+// AblationBilinear quantifies the automatic bilinear restructuring pass on
+// the learning workload: the cypress 26-CE production chains (and its
+// 51-CE chunks, added at run time) are split into balanced pair-join trees,
+// shortening the dependent-activation chains the paper names as the second
+// parallelism limiter. Conflict sets are byte-identical across
+// organizations (the engine conformance test proves it); the ablation
+// measures the chain-depth reduction and the per-cycle speedup lift at
+// 8-13 simulated processes, with unlink default-on. "auto" must track
+// "all" here (every cypress production qualifies) and both must lift the
+// high-process speedups over "off".
+func AblationBilinear(l *Lab) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: automatic bilinear restructuring (cypress, chunks added at run time, unlink on)",
+		Headers: []string{"Bilinear", "Restructured", "Max chain depth", "Speedup @8", "Speedup @11", "Speedup @13", "Tasks"},
+	}
+	for _, org := range []rete.Organization{rete.Linear, rete.Bilinear, rete.BilinearAuto} {
+		lab := NewLab()
+		lab.SetUnlink(true)
+		lab.SetOrganization(org)
+		c, err := lab.Cypress(DuringChunk)
+		if err != nil {
+			return nil, err
+		}
+		restructured := 0
+		for _, p := range c.eng.NW.Productions() {
+			if p.Restructured {
+				restructured++
+			}
+		}
+		// Max chain depth from the matchprof attribution snapshot — the
+		// left+right spine walk, so restructured right sub-chains count.
+		maxDepth := 0
+		if c.Prof != nil {
+			for _, pc := range c.Prof.Productions {
+				if pc.ChainDepth > maxDepth {
+					maxDepth = pc.ChainDepth
+				}
+			}
+		}
+		t.AddRow(org.String(),
+			fmt.Sprintf("%d", restructured),
+			fmt.Sprintf("%d", maxDepth),
+			fmt.Sprintf("%.2f", sim.RunSpeedup(c.Traces, 8, sim.MultiQueue, QueueOp)),
+			fmt.Sprintf("%.2f", sim.RunSpeedup(c.Traces, 11, sim.MultiQueue, QueueOp)),
+			fmt.Sprintf("%.2f", sim.RunSpeedup(c.Traces, 13, sim.MultiQueue, QueueOp)),
+			fmt.Sprintf("%d", c.Tasks))
+	}
+	return t, nil
+}
+
 // AblationAsync estimates the gain of the paper's first future-work item
 // (§7): firing elaboration cycles asynchronously, synchronizing only at
 // decision boundaries. The estimate merges each run's per-cycle task DAGs
@@ -248,15 +298,24 @@ type Diagnosis struct {
 // and explains the low-speedup ones (below the threshold).
 func Diagnose(c *Capture, procs int, threshold float64) []Diagnosis {
 	// Map beta nodes to the productions whose chains contain them.
+	// Walk both inputs: a Parent-only walk would miss the right-side group
+	// sub-chains of bilinear pair joins, leaving their nodes unowned.
 	owner := map[rete.NodeID]string{}
-	for _, p := range c.eng.NW.Productions() {
-		n := p.PNode
-		for n != nil {
-			if _, taken := owner[n.ID]; !taken {
-				owner[n.ID] = p.Name
-			}
-			n = n.Parent
+	var claim func(n *rete.BetaNode, name string)
+	claim = func(n *rete.BetaNode, name string) {
+		if n == nil {
+			return
 		}
+		if _, taken := owner[n.ID]; !taken {
+			owner[n.ID] = name
+		}
+		claim(n.Parent, name)
+		if n.Kind == rete.KindJoinBB {
+			claim(n.RightParent, name)
+		}
+	}
+	for _, p := range c.eng.NW.Productions() {
+		claim(p.PNode, p.Name)
 	}
 	// Per-production run-wide attribution (chain depth, null rate) from the
 	// matchprof snapshot harvested at capture time.

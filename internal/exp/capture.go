@@ -176,6 +176,12 @@ func NewLab() *Lab {
 // paper fidelity).
 func (l *Lab) SetUnlink(on bool) { l.opts.Unlink = on }
 
+// SetOrganization selects the bilinear restructuring mode (off/all/auto)
+// for every engine the lab creates from now on (cmd/experiments -bilinear).
+// The organization is part of every capture cache key, so captures at
+// different organizations never alias.
+func (l *Lab) SetOrganization(org rete.Organization) { l.opts.Organization = org }
+
 // SetObserver attaches an observability handle to every engine the lab
 // creates from now on (live /metrics while experiments run).
 func (l *Lab) SetObserver(o *obs.Observer) { l.obs = o }

@@ -71,19 +71,19 @@ type Profile struct {
 	mSLO      *obs.Counter
 	mDumpErrs *obs.Counter
 
-	mu        sync.Mutex
-	session   string
-	cycles    int64
-	ring      []CycleEvent // flight ring, ring[head] is the oldest slot
-	head      int
-	ringN     int // number of valid entries
-	window    []time.Duration // rolling cycle latencies for the SLO check
-	wHead     int
-	wN        int
-	lastTrip  int64 // cycle index of the last SLO trip (cooldown)
-	sloArmed  bool
-	lastDump  *Dump
-	dumpSeq   int64
+	mu       sync.Mutex
+	session  string
+	cycles   int64
+	ring     []CycleEvent // flight ring, ring[head] is the oldest slot
+	head     int
+	ringN    int             // number of valid entries
+	window   []time.Duration // rolling cycle latencies for the SLO check
+	wHead    int
+	wN       int
+	lastTrip int64 // cycle index of the last SLO trip (cooldown)
+	sloArmed bool
+	lastDump *Dump
+	dumpSeq  int64
 }
 
 // New builds a Profile for nw and installs its hot-path counters on the
@@ -269,8 +269,11 @@ type ProdCost struct {
 	// node shared with an earlier production is attributed to that earlier
 	// one (first-owner-wins, matching the diagnose tool), so shared-prefix
 	// cost is never double counted.
-	Nodes  int `json:"nodes"`
+	Nodes  int    `json:"nodes"`
 	Totals Totals `json:"totals"`
+	// Restructured marks productions the bilinear pass compiled into the
+	// context+group pair-join shape.
+	Restructured bool `json:"restructured,omitempty"`
 	// NullRate and CostShare are derived: null activations over activations,
 	// and this production's share of all attributed modeled cost.
 	NullRate  float64 `json:"nullRate"`
@@ -350,16 +353,29 @@ func (p *Profile) buildSnapshot(session string, cycles int64) *Snapshot {
 		if pr.PNode == nil {
 			continue
 		}
-		op := ownedProd{pc: ProdCost{Name: pr.Name}}
-		for n := pr.PNode; n != nil; n = n.Parent {
-			if n.Kind != rete.KindP {
-				op.pc.ChainDepth++
+		op := ownedProd{pc: ProdCost{Name: pr.Name, Restructured: pr.Restructured}}
+		// Claim both inputs of every node on the production's spine: Parent
+		// (the left input) and, for bilinear pair joins, RightParent — the
+		// right-side group sub-chains are real two-input nodes with their own
+		// cost cells, and a Parent-only walk would leave them unowned (and
+		// undercount Nodes for every restructured production). NCC partner
+		// sub-chains stay unclaimed (see Snapshot.Unattributed).
+		var claim func(n *rete.BetaNode)
+		claim = func(n *rete.BetaNode) {
+			if n == nil {
+				return
 			}
 			if _, taken := owner[n.ID]; !taken {
 				owner[n.ID] = len(owned)
 				op.nodes = append(op.nodes, n.ID)
 			}
+			claim(n.Parent)
+			if n.Kind == rete.KindJoinBB {
+				claim(n.RightParent)
+			}
 		}
+		claim(pr.PNode)
+		op.pc.ChainDepth = spineDepth(pr.PNode)
 		owned = append(owned, op)
 	}
 	claimed := make([]bool, len(cells))
@@ -403,6 +419,31 @@ func (p *Profile) buildSnapshot(session string, cycles int64) *Snapshot {
 		return a.Name < b.Name
 	})
 	return s
+}
+
+// spineDepth is the longest root-to-P path of two-input nodes: the bound on
+// the dependent activation chain the production can generate. Pair joins
+// take the deeper of their two inputs; NCC sub-chains count toward depth
+// through the partner even though their cost stays unattributed.
+func spineDepth(n *rete.BetaNode) int {
+	if n == nil {
+		return 0
+	}
+	d := spineDepth(n.Parent)
+	if n.Kind == rete.KindJoinBB {
+		if r := spineDepth(n.RightParent); r > d {
+			d = r
+		}
+	}
+	if n.Kind == rete.KindNCC && n.Partner != nil {
+		if r := spineDepth(n.Partner.Parent); r > d {
+			d = r
+		}
+	}
+	if n.Kind == rete.KindP {
+		return d
+	}
+	return d + 1
 }
 
 // Merge folds several snapshots (one per session) into an aggregate view:
@@ -449,6 +490,7 @@ func Merge(snaps []*Snapshot) *Snapshot {
 			if pc.Nodes > agg.Nodes {
 				agg.Nodes = pc.Nodes
 			}
+			agg.Restructured = agg.Restructured || pc.Restructured
 		}
 	}
 	out.NullRate = out.Totals.NullRate()

@@ -12,6 +12,7 @@ import (
 	"soarpsme/internal/engine"
 	"soarpsme/internal/matchprof"
 	"soarpsme/internal/obs"
+	"soarpsme/internal/rete"
 	"soarpsme/internal/serve"
 	"soarpsme/internal/tasks/cypress"
 )
@@ -75,6 +76,76 @@ func TestConformanceWithProfiling(t *testing.T) {
 				t.Fatal("no productions attributed")
 			}
 		})
+	}
+}
+
+// Attribution must cover BOTH inputs of bilinear pair joins: with the
+// restructuring pass on, the right-side group sub-chains are real two-input
+// nodes with their own cost cells, and a Parent-only spine walk leaves
+// their cost unattributed and their chain depth undercounted. Cypress has
+// no NCCs, so with correct ownership every activated node belongs to some
+// production and Unattributed stays zero.
+func TestBilinearAttributionCoversRightChains(t *testing.T) {
+	run := func(org rete.Organization) *matchprof.Snapshot {
+		sys := cypress.Generate(cypress.DefaultParams())
+		ec := engine.DefaultConfig()
+		ec.Processes = 2
+		ec.Prof = &matchprof.Options{}
+		ec.Rete.Organization = org
+		e := engine.New(ec)
+		if err := e.LoadProgram(sys.Source); err != nil {
+			t.Fatal(err)
+		}
+		drv := cypress.NewDriver(sys, e.Tab, e.WM)
+		next := 0
+		for cyc := 0; cyc < 8; cyc++ {
+			e.ApplyAndMatch(drv.Batch())
+			for next < len(drv.ChunkAt) && drv.ChunkAt[next] == cyc {
+				ast, err := sys.ParseChunk(next, e.Tab)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.AddProductionRuntime(ast); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+		}
+		return e.Prof.Snapshot()
+	}
+	lin := run(rete.Linear)
+	aut := run(rete.BilinearAuto)
+
+	if aut.Unattributed.Acts != 0 || aut.Unattributed.Cost != 0 {
+		t.Fatalf("bilinear group sub-chains unattributed: %+v", aut.Unattributed)
+	}
+	linDepth := map[string]int{}
+	for _, p := range lin.Productions {
+		if p.Restructured {
+			t.Fatalf("linear run marked %s restructured", p.Name)
+		}
+		linDepth[p.Name] = p.ChainDepth
+	}
+	restructured := 0
+	for _, p := range aut.Productions {
+		if !p.Restructured {
+			continue
+		}
+		restructured++
+		ld, ok := linDepth[p.Name]
+		if !ok {
+			continue
+		}
+		// The balanced tree must shorten the longest root-to-P path, and the
+		// fixed walk must still see a real (non-zero) depth through both
+		// inputs.
+		if p.ChainDepth == 0 || p.ChainDepth >= ld {
+			t.Fatalf("%s: auto chain depth %d vs linear %d (left+right walk broken?)",
+				p.Name, p.ChainDepth, ld)
+		}
+	}
+	if restructured == 0 {
+		t.Fatal("auto selected no cypress productions (26-CE chains should qualify)")
 	}
 }
 

@@ -66,7 +66,8 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 	}
 	var bottom *BetaNode
 	var err error
-	if nw.Opts.Organization == Bilinear && b.bilinearApplicable() {
+	restructured := b.useBilinear()
+	if restructured {
 		bottom, err = b.buildBilinear()
 	} else {
 		bottom, err = b.buildLinear()
@@ -75,10 +76,11 @@ func (nw *Network) AddProduction(ast *ops5.Production) (*Production, *AddInfo, e
 		return nil, nil, err
 	}
 	prod := &Production{
-		Name:     ast.Name,
-		AST:      ast,
-		Bindings: b.bindings,
-		NumCEs:   b.posCount,
+		Name:         ast.Name,
+		AST:          ast,
+		Bindings:     b.bindings,
+		NumCEs:       b.posCount,
+		Restructured: restructured,
 	}
 	if err := checkRHS(prod, nw); err != nil {
 		return nil, nil, err
@@ -511,6 +513,38 @@ func checkRHS(p *Production, nw *Network) error {
 
 // ---- bilinear organization (paper Figure 6-8) ----
 
+// useBilinear decides whether this production compiles into the
+// constrained bilinear shape. Bilinear restructures every applicable
+// production (the fixed Fig 6-8 organization, left-spine pair joins);
+// BilinearAuto restructures only chain-depth victims — productions whose
+// linear join chain would reach Options.BilinearDepth two-input nodes —
+// and combines their groups with a balanced pair-join tree. The decision
+// is purely structural (source + options), so runtime chunks added
+// against a frozen topology make it identically on every session.
+func (b *builder) useBilinear() bool {
+	switch b.nw.Opts.Organization {
+	case Bilinear:
+		return b.bilinearApplicable()
+	case BilinearAuto:
+		return b.bilinearApplicable() && b.linearChainLen() >= b.nw.Opts.EffBilinearDepth()
+	}
+	return false
+}
+
+// linearChainLen counts the two-input nodes a linear build would create:
+// one per positive or negated CE (NCCs are already excluded by
+// bilinearApplicable, which gates every useBilinear call).
+func (b *builder) linearChainLen() int {
+	n := 0
+	for _, ci := range b.ast.LHS {
+		switch ci.Kind {
+		case ops5.CondPos, ops5.CondNeg:
+			n++
+		}
+	}
+	return n
+}
+
 // bilinearApplicable reports whether this production can use the
 // constrained bilinear shape: enough positive CEs, no NCCs, and every
 // in-group negation's variables resolvable (checked during build; here we
@@ -573,6 +607,18 @@ func (b *builder) buildBilinear() (*BetaNode, error) {
 	// Partition the rest into groups of positive CEs (negations stay with
 	// their group when their variables are context- or group-local, else
 	// they are deferred to the combined line).
+	//
+	// Trailing-negation rule: a group is flushed lazily — only when the
+	// NEXT positive CE arrives — so a negation that textually follows a
+	// group's final (groupSz-th) positive CE attaches to that full group,
+	// not to the one after it. This is deliberate, not an off-by-one: OPS5
+	// scopes a negation's variables to the conditions before it, so the
+	// group whose positives precede the negation is exactly the group whose
+	// bindings it may reference. Attaching it to the *next* group would
+	// make those bindings foreign and force every trailing negation onto
+	// the combined line (negResolvable would fail), serializing it behind
+	// the pair joins. TestBilinearTrailingNegationPlacement pins both the
+	// placement and linear-equivalence.
 	type group struct {
 		pos  []*ops5.CE
 		negs []*ops5.CE
@@ -597,7 +643,11 @@ func (b *builder) buildBilinear() (*BetaNode, error) {
 	}
 
 	// Build each group chain off the context; collect cross-group tests.
+	// ceGroup records which group each positive CE tag compiled into — the
+	// balanced combine places each cross test at the pair join where its
+	// two groups first meet.
 	groupBinds := make([]map[value.Sym]Binding, len(groups))
+	ceGroup := make(map[int]int)
 	var bottoms []*BetaNode
 	var crossTests [][]BBTest // per group: tests vs earlier groups
 	for gi, g := range groups {
@@ -612,6 +662,7 @@ func (b *builder) buildBilinear() (*BetaNode, error) {
 		var cross []BBTest
 		for _, ce := range g.pos {
 			tag := b.ceTag
+			ceGroup[tag] = gi
 			// Compile with group-visible bindings; cross-group variable
 			// references surface as unbound-or-foreign and become BB tests.
 			alphaTests, joinTests, bbs, newBinds, err := b.compileGroupCE(ce, tag, gb)
@@ -646,29 +697,39 @@ func (b *builder) buildBilinear() (*BetaNode, error) {
 		crossTests = append(crossTests, cross)
 	}
 
-	// Pair-join the group bottoms left to right.
+	// Pair-join the group bottoms. The fixed Bilinear organization chains
+	// them left to right (Fig 6-8's shape: depth ctx + group + G-1); the
+	// auto pass combines them with a balanced binary tree (depth ctx +
+	// group + ceil(log2 G)) — the bounded-depth structure that shortens
+	// the dependent activation chain the paper names as the second
+	// parallelism limiter.
 	if len(bottoms) == 0 {
 		return ctxNode, nil
 	}
-	main := bottoms[0]
-	for gi := 1; gi < len(bottoms); gi++ {
-		tests := crossTests[gi]
-		nEq := canonicalizeBB(tests)
-		if b.nw.Opts.LinearMemories {
-			nEq = 0
+	var main *BetaNode
+	if b.nw.Opts.Organization == BilinearAuto {
+		main = b.combineBalanced(bottoms, crossTests, ceGroup, ctxCount)
+	} else {
+		main = bottoms[0]
+		for gi := 1; gi < len(bottoms); gi++ {
+			tests := crossTests[gi]
+			nEq := canonicalizeBB(tests)
+			if b.nw.Opts.LinearMemories {
+				nEq = 0
+			}
+			bb := b.newNode(&BetaNode{
+				Kind:        KindJoinBB,
+				Parent:      main,
+				RightParent: bottoms[gi],
+				BBTests:     tests,
+				nEqTests:    nEq,
+				BranchN:     ctxCount,
+				private:     true,
+			})
+			b.attach(main, bb)
+			b.attach(bottoms[gi], bb)
+			main = bb
 		}
-		bb := b.newNode(&BetaNode{
-			Kind:        KindJoinBB,
-			Parent:      main,
-			RightParent: bottoms[gi],
-			BBTests:     tests,
-			nEqTests:    nEq,
-			BranchN:     ctxCount,
-			private:     true,
-		})
-		b.attach(main, bb)
-		b.attach(bottoms[gi], bb)
-		main = bb
 	}
 	// Note: cross tests of group 0 are impossible (no earlier group).
 
@@ -681,6 +742,54 @@ func (b *builder) buildBilinear() (*BetaNode, error) {
 		}
 	}
 	return main, nil
+}
+
+// combineBalanced builds a balanced binary pair-join tree over the group
+// bottoms. Every cross-group test has LeftCE bound in an earlier group
+// than RightCE (compileGroupCE only emits a BB test for a variable bound
+// in a prior group), so for each test there is exactly one tree node where
+// its left group falls in the left subtree and its right group in the
+// right subtree — the LCA of the two groups — and the test is applied
+// there. Tokens are pairs of pairs; ctxOf/ancestorAt/stripAbove descend
+// the left spine, where the shared context always lives.
+func (b *builder) combineBalanced(bottoms []*BetaNode, crossTests [][]BBTest, ceGroup map[int]int, ctxCount int) *BetaNode {
+	var all []BBTest
+	for _, ts := range crossTests {
+		all = append(all, ts...)
+	}
+	var combine func(lo, hi int) *BetaNode
+	combine = func(lo, hi int) *BetaNode {
+		if lo == hi {
+			return bottoms[lo]
+		}
+		mid := (lo + hi) / 2
+		left := combine(lo, mid)
+		right := combine(mid+1, hi)
+		var tests []BBTest
+		for _, t := range all {
+			lg, rg := ceGroup[t.LeftCE], ceGroup[t.RightCE]
+			if lg >= lo && lg <= mid && rg > mid && rg <= hi {
+				tests = append(tests, t)
+			}
+		}
+		nEq := canonicalizeBB(tests)
+		if b.nw.Opts.LinearMemories {
+			nEq = 0
+		}
+		bb := b.newNode(&BetaNode{
+			Kind:        KindJoinBB,
+			Parent:      left,
+			RightParent: right,
+			BBTests:     tests,
+			nEqTests:    nEq,
+			BranchN:     ctxCount,
+			private:     true,
+		})
+		b.attach(left, bb)
+		b.attach(right, bb)
+		return bb
+	}
+	return combine(0, len(bottoms)-1)
 }
 
 // compileGroupCE is compileCE for bilinear groups: references to variables

@@ -680,12 +680,18 @@ func ctxOf(t *Token, n int16) *Token {
 	return ancestorAt(t, n)
 }
 
-// stripAbove rebuilds the linear extension of t above its ancestor with n
-// wmes, re-rooted on the dummy top (bilinear right inputs are stored and
-// paired without their shared context).
+// stripAbove rebuilds the extension of t above its ancestor with n wmes,
+// re-rooted on the dummy top (bilinear right inputs are stored and paired
+// without their shared context). Pair tokens — the right input of a
+// balanced pair-join tree is another bilinear join — carry the context in
+// their leftmost component only, so stripping recurses down the left side
+// and keeps the (already stripped) right side intact.
 func stripAbove(t *Token, n int16) *Token {
 	if t.N <= n {
 		return DummyTop
+	}
+	if t.L != nil {
+		return Pair(stripAbove(t.L, n), t.R)
 	}
 	return Extend(stripAbove(t.Parent, n), int(t.CE), t.W)
 }

@@ -17,11 +17,43 @@ type Organization uint8
 // Linear is OPS5's left-to-right join chain; Bilinear is the constrained
 // bilinear organization of Figure 6-8, which shortens dependent activation
 // chains by matching groups of CEs in parallel sub-chains constrained by a
-// shared context prefix and pair-joining the group results.
+// shared context prefix and pair-joining the group results. BilinearAuto
+// is the measurement-driven restructuring pass: it selects victims
+// deterministically at compile time — productions whose linear join chain
+// would reach Options.BilinearDepth two-input nodes — and combines their
+// group sub-chains with a balanced binary pair-join tree instead of the
+// fixed left spine, bounding dependent-chain depth at
+// context + group + ceil(log2 groups). Everything else stays linear.
 const (
 	Linear Organization = iota
 	Bilinear
+	BilinearAuto
 )
+
+func (o Organization) String() string {
+	switch o {
+	case Bilinear:
+		return "all"
+	case BilinearAuto:
+		return "auto"
+	}
+	return "off"
+}
+
+// ParseOrganization maps the -bilinear flag values: off (linear), all
+// (every applicable production restructures, Fig 6-8's fixed shape), auto
+// (deterministic per-production victim selection + balanced pair trees).
+func ParseOrganization(s string) (Organization, error) {
+	switch s {
+	case "off", "linear", "":
+		return Linear, nil
+	case "all", "bilinear":
+		return Bilinear, nil
+	case "auto":
+		return BilinearAuto, nil
+	}
+	return Linear, fmt.Errorf("rete: unknown bilinear mode %q (want off, all, or auto)", s)
+}
 
 // Options configure network construction.
 type Options struct {
@@ -36,6 +68,14 @@ type Options struct {
 	ContextCEs int
 	// GroupCEs is the sub-chain group size for Bilinear.
 	GroupCEs int
+	// BilinearDepth is BilinearAuto's victim threshold: a production whose
+	// linear join chain would reach this many two-input nodes is
+	// restructured; shorter chains stay linear. 0 means 16 (the cypress
+	// 20-32-CE productions qualify, the hand tasks' short rules don't).
+	// Selection is structural — it depends only on the production source
+	// and these options — so it hashes into the program identity and every
+	// session sharing a compiled image agrees on it.
+	BilinearDepth int
 	// LinearMemories disables hashing: a node's tokens all share one
 	// bucket and every join scans the node's whole opposite memory — the
 	// §6.1 "linear lists" baseline ablation.
@@ -52,7 +92,15 @@ type Options struct {
 // DefaultOptions returns the production configuration: shared network,
 // hashed memories, linear organization, unlinking on.
 func DefaultOptions() Options {
-	return Options{ShareBeta: true, HashLines: 1024, ContextCEs: 2, GroupCEs: 4, Unlink: true}
+	return Options{ShareBeta: true, HashLines: 1024, ContextCEs: 2, GroupCEs: 4, BilinearDepth: 16, Unlink: true}
+}
+
+// EffBilinearDepth resolves the zero-value default of BilinearDepth.
+func (o Options) EffBilinearDepth() int {
+	if o.BilinearDepth <= 0 {
+		return 16
+	}
+	return o.BilinearDepth
 }
 
 // ConflictListener receives instantiation insertions and retractions from

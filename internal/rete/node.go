@@ -232,7 +232,11 @@ type Production struct {
 	// of its first bound (equality, positive-CE) occurrence.
 	Bindings map[value.Sym]Binding
 	NumCEs   int // positive CEs
-	PNode    *BetaNode
+	// Restructured marks productions the bilinear pass compiled into the
+	// context+group shape (Organization Bilinear, or BilinearAuto when the
+	// linear chain would reach Options.BilinearDepth).
+	Restructured bool
+	PNode        *BetaNode
 	// ActionCE maps 0-based LHS positions to token CE tags (-1 for
 	// negated/NCC items); remove/modify actions index through it.
 	ActionCE []int
